@@ -1,0 +1,208 @@
+//! Figure 8: correlation distance within spatial generations.
+//!
+//! For each completed generation, compare its access sequence with the
+//! *prior* occurrence of the same spatial index: for every pair of
+//! consecutive offsets in the new sequence, the correlation distance is
+//! the positional distance between those two offsets in the prior
+//! sequence. A distance of +1 is perfect repetition; anything else is a
+//! reordering jump. The paper reports >=86% of accesses within a
+//! reordering window of two and >=92% within four (Section 5.4).
+
+use std::collections::HashMap;
+
+use crate::filter::GenerationRecord;
+
+/// Maximum tracked |distance|; the paper plots ±6 (96% of accesses).
+pub const MAX_DISTANCE: i32 = 6;
+
+/// Histogram of correlation distances (−6..−1, +1..+6, plus out-of-range
+/// and not-found buckets).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CorrDistanceHist {
+    counts: HashMap<i32, u64>,
+    /// Pairs whose distance exceeded ±MAX_DISTANCE.
+    pub beyond: u64,
+    /// Pairs with an offset absent from the prior sequence.
+    pub not_found: u64,
+}
+
+impl CorrDistanceHist {
+    /// Records one distance observation.
+    pub fn record(&mut self, distance: i32) {
+        if distance.abs() > MAX_DISTANCE {
+            self.beyond += 1;
+        } else {
+            *self.counts.entry(distance).or_default() += 1;
+        }
+    }
+
+    /// Count at a specific distance.
+    pub fn at(&self, distance: i32) -> u64 {
+        self.counts.get(&distance).copied().unwrap_or(0)
+    }
+
+    /// Total observations (including beyond/not-found diagnostics).
+    pub fn total(&self) -> u64 {
+        self.comparable() + self.not_found
+    }
+
+    /// Comparable pairs: both offsets recurred, so a distance exists.
+    /// This is the denominator of the paper's Figure 8, which measures
+    /// how *spatially predictable* accesses recur.
+    pub fn comparable(&self) -> u64 {
+        self.counts.values().sum::<u64>() + self.beyond
+    }
+
+    /// Fraction of comparable pairs with |distance| <= `window` (the
+    /// paper's "reordering window").
+    pub fn within_window(&self, window: i32) -> f64 {
+        let total = self.comparable();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut inside = 0;
+        for d in -window..=window {
+            if d != 0 {
+                inside += self.at(d);
+            }
+        }
+        inside as f64 / total as f64
+    }
+
+    /// Cumulative fractions at distances −6..−1,1..6 in plot order
+    /// (the series of Figure 8).
+    pub fn cumulative_series(&self) -> Vec<(i32, f64)> {
+        let total = self.comparable().max(1) as f64;
+        let mut acc = 0u64;
+        let mut out = Vec::new();
+        for d in (-MAX_DISTANCE..=MAX_DISTANCE).filter(|&d| d != 0) {
+            acc += self.at(d);
+            out.push((d, acc as f64 / total));
+        }
+        out
+    }
+}
+
+/// Computes the correlation-distance histogram over a stream of completed
+/// generations: each is compared against the previous occurrence of its
+/// index, then becomes the stored occurrence.
+///
+/// Following the paper, the comparison is over the *spatially
+/// predictable* accesses: both sequences are first restricted to their
+/// common offsets (an offset present in only one occurrence is unstable
+/// and cannot recur at any distance; it is tallied in `not_found`).
+/// Positions are measured within the restricted sequences, so perfect
+/// repetition of the stable pattern yields a distance of +1.
+pub fn correlation_distance(generations: &[GenerationRecord]) -> CorrDistanceHist {
+    let mut hist = CorrDistanceHist::default();
+    let mut prior: HashMap<u64, Vec<u8>> = HashMap::new();
+    for gen in generations {
+        if let Some(prev) = prior.get(&gen.index) {
+            let in_prev: std::collections::HashSet<u8> = prev.iter().copied().collect();
+            let in_new: std::collections::HashSet<u8> = gen.offsets.iter().copied().collect();
+            let prev_common: Vec<u8> = prev
+                .iter()
+                .copied()
+                .filter(|o| in_new.contains(o))
+                .collect();
+            let new_common: Vec<u8> = gen
+                .offsets
+                .iter()
+                .copied()
+                .filter(|o| in_prev.contains(o))
+                .collect();
+            hist.not_found += (gen.offsets.len() - new_common.len()) as u64;
+            let pos: HashMap<u8, usize> = prev_common
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| (o, i))
+                .collect();
+            for pair in new_common.windows(2) {
+                let a = pos[&pair[0]];
+                let b = pos[&pair[1]];
+                hist.record(b as i32 - a as i32);
+            }
+        }
+        prior.insert(gen.index, gen.offsets.clone());
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(index: u64, offsets: &[u8]) -> GenerationRecord {
+        GenerationRecord {
+            index,
+            offsets: offsets.to_vec(),
+        }
+    }
+
+    #[test]
+    fn perfect_repetition_is_all_plus_one() {
+        let gens = vec![gen(1, &[0, 3, 7, 9]), gen(1, &[0, 3, 7, 9])];
+        let h = correlation_distance(&gens);
+        assert_eq!(h.at(1), 3);
+        assert_eq!(h.total(), 3);
+        assert!((h.within_window(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_produces_symmetric_jumps() {
+        // Prior 0,3,7; new 0,7,3: (0,7) -> +2, (7,3) -> -1.
+        let gens = vec![gen(1, &[0, 3, 7]), gen(1, &[0, 7, 3])];
+        let h = correlation_distance(&gens);
+        assert_eq!(h.at(2), 1);
+        assert_eq!(h.at(-1), 1);
+    }
+
+    #[test]
+    fn first_occurrence_is_not_compared() {
+        let gens = vec![gen(1, &[0, 1]), gen(2, &[0, 1])];
+        let h = correlation_distance(&gens);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn missing_offsets_counted_separately() {
+        let gens = vec![gen(1, &[0, 3]), gen(1, &[0, 9])];
+        let h = correlation_distance(&gens);
+        assert_eq!(h.not_found, 1);
+        // The surviving common subsequence is just [0]: no pairs.
+        assert_eq!(h.comparable(), 0);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn unstable_offsets_do_not_distort_stable_distances() {
+        // Stable pattern 0,3,7 with a different noise offset in each
+        // occurrence: the stable pairs must still measure +1.
+        let gens = vec![gen(1, &[0, 14, 3, 7]), gen(1, &[0, 3, 21, 7])];
+        let h = correlation_distance(&gens);
+        assert_eq!(h.at(1), 2);
+        assert_eq!(h.not_found, 1); // offset 21
+    }
+
+    #[test]
+    fn comparison_is_against_most_recent_occurrence() {
+        let gens = vec![
+            gen(1, &[0, 3, 7]),
+            gen(1, &[0, 7, 3]), // vs first
+            gen(1, &[0, 7, 3]), // vs second: perfect
+        ];
+        let h = correlation_distance(&gens);
+        assert_eq!(h.at(1), 2); // the third generation's two pairs
+    }
+
+    #[test]
+    fn cumulative_series_is_monotonic() {
+        let gens = vec![gen(1, &[0, 3, 7, 9, 11]), gen(1, &[0, 7, 3, 11, 9])];
+        let h = correlation_distance(&gens);
+        let series = h.cumulative_series();
+        assert_eq!(series.len(), 12);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

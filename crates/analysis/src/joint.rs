@@ -1,0 +1,147 @@
+//! Figure 6: joint classification of off-chip read misses by idealized
+//! temporal and spatial predictability (both / TMS-only / SMS-only /
+//! neither).
+//!
+//! A miss is **temporally** predictable when following the recorded miss
+//! order from the previous miss's most recent prior occurrence would have
+//! predicted it (the successor relation TMS replays, Section 2.2). It is
+//! **spatially** predictable when the idealized SMS annotation from the
+//! filter pass says the generation's trigger lookup covered its offset.
+
+use std::collections::HashMap;
+
+use stems_types::BlockAddr;
+
+use crate::filter::MissRecord;
+
+/// Counts of misses per joint class (the four stacks of Figure 6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JointBreakdown {
+    /// Predictable by both techniques.
+    pub both: u64,
+    /// Only temporally predictable.
+    pub tms_only: u64,
+    /// Only spatially predictable.
+    pub sms_only: u64,
+    /// Predictable by neither.
+    pub neither: u64,
+}
+
+impl JointBreakdown {
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.both + self.tms_only + self.sms_only + self.neither
+    }
+
+    /// Fractions in stack order `(both, tms_only, sms_only, neither)`.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.both as f64 / t,
+            self.tms_only as f64 / t,
+            self.sms_only as f64 / t,
+            self.neither as f64 / t,
+        )
+    }
+
+    /// Fraction predictable temporally (both + TMS-only).
+    pub fn temporal_fraction(&self) -> f64 {
+        let (b, t, ..) = self.fractions();
+        b + t
+    }
+
+    /// Fraction predictable spatially (both + SMS-only).
+    pub fn spatial_fraction(&self) -> f64 {
+        let (b, _, s, _) = self.fractions();
+        b + s
+    }
+
+    /// Fraction predictable by at least one technique.
+    pub fn joint_fraction(&self) -> f64 {
+        1.0 - self.fractions().3
+    }
+}
+
+/// Classifies each miss of `misses` (see module docs).
+pub fn joint_analysis(misses: &[MissRecord]) -> JointBreakdown {
+    let mut last_occurrence: HashMap<BlockAddr, usize> = HashMap::new();
+    let mut out = JointBreakdown::default();
+    for i in 0..misses.len() {
+        let tms = i > 0
+            && last_occurrence
+                .get(&misses[i - 1].block)
+                .map(|&p| p + 1 < misses.len() && misses[p + 1].block == misses[i].block)
+                .unwrap_or(false);
+        let sms = misses[i].sms_predictable;
+        match (tms, sms) {
+            (true, true) => out.both += 1,
+            (true, false) => out.tms_only += 1,
+            (false, true) => out.sms_only += 1,
+            (false, false) => out.neither += 1,
+        }
+        if i > 0 {
+            last_occurrence.insert(misses[i - 1].block, i - 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_types::Pc;
+
+    fn miss(block: u64, sms: bool) -> MissRecord {
+        MissRecord {
+            pc: Pc::new(0),
+            block: BlockAddr::new(block),
+            trigger: false,
+            sms_predictable: sms,
+        }
+    }
+
+    #[test]
+    fn repeated_pair_sequence_is_temporal() {
+        // Sequence abc abc: second occurrence of b and c follows known
+        // successors.
+        let misses: Vec<MissRecord> =
+            [1u64, 2, 3, 1, 2, 3].iter().map(|&b| miss(b, false)).collect();
+        let out = joint_analysis(&misses);
+        assert_eq!(out.tms_only, 2); // the second b and c
+        assert_eq!(out.neither, 4);
+    }
+
+    #[test]
+    fn fresh_addresses_are_never_temporal() {
+        let misses: Vec<MissRecord> = (0..10).map(|b| miss(b, false)).collect();
+        let out = joint_analysis(&misses);
+        assert_eq!(out.temporal_fraction(), 0.0);
+        assert_eq!(out.neither, 10);
+    }
+
+    #[test]
+    fn sms_annotation_flows_through() {
+        let misses = vec![miss(1, true), miss(2, false), miss(3, true)];
+        let out = joint_analysis(&misses);
+        assert_eq!(out.sms_only, 2);
+        assert!((out.spatial_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_requires_both_signals() {
+        let misses: Vec<MissRecord> =
+            [1u64, 2, 1, 2].iter().map(|&b| miss(b, true)).collect();
+        let out = joint_analysis(&misses);
+        // Miss 3 (block 2) is temporally predicted (1->2 seen) and SMS-
+        // annotated.
+        assert_eq!(out.both, 1);
+        assert_eq!(out.sms_only, 3);
+        assert!((out.joint_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = joint_analysis(&[]);
+        assert_eq!(out.total(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 7: Sequitur-based temporal-repetition classification.
+//!
+//! Each element of an address sequence is classified as:
+//!
+//! * **non-repetitive** — not part of any repeated subsequence;
+//! * **new** — part of the first occurrence of a repeated subsequence;
+//! * **head** — the first element of a later occurrence (the element a
+//!   temporal stream must miss on to locate the sequence);
+//! * **opportunity** — the remaining elements of later occurrences (what
+//!   temporal streaming can prefetch).
+
+use crate::sequitur::{GSym, Grammar, Sequitur};
+
+/// Element counts per repetition class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepetitionBreakdown {
+    /// Elements outside any repeated subsequence.
+    pub non_repetitive: u64,
+    /// Elements of first occurrences.
+    pub new: u64,
+    /// First elements of repeat occurrences.
+    pub head: u64,
+    /// Non-head elements of repeat occurrences.
+    pub opportunity: u64,
+}
+
+impl RepetitionBreakdown {
+    /// Total classified elements.
+    pub fn total(&self) -> u64 {
+        self.non_repetitive + self.new + self.head + self.opportunity
+    }
+
+    /// The fraction of elements in each class, ordered as
+    /// `(opportunity, head, new, non_repetitive)` — the stacking order of
+    /// Figure 7.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.opportunity as f64 / t,
+            self.head as f64 / t,
+            self.new as f64 / t,
+            self.non_repetitive as f64 / t,
+        )
+    }
+}
+
+/// Classifies `sequence` by building its Sequitur grammar and walking the
+/// root rule: rule references are repeated subsequences (first occurrence
+/// = new, later = head + opportunity); top-level terminals are
+/// non-repetitive.
+pub fn classify(sequence: impl IntoIterator<Item = u64>) -> RepetitionBreakdown {
+    let grammar = Sequitur::build(sequence);
+    classify_grammar(&grammar)
+}
+
+/// Classifies an already-built grammar (see [`classify`]).
+///
+/// The walk recurses into the *first* occurrence of each rule so nested
+/// repetition is credited: inside a first occurrence, later occurrences of
+/// inner rules still count as head + opportunity, and only genuinely
+/// first-seen elements count as new.
+pub fn classify_grammar(grammar: &Grammar) -> RepetitionBreakdown {
+    let lens = grammar.expansion_lengths();
+    let mut seen = vec![false; lens.len()];
+    let mut out = RepetitionBreakdown::default();
+    walk(grammar, &lens, &mut seen, grammar.root(), true, &mut out);
+    out
+}
+
+fn walk(
+    grammar: &Grammar,
+    lens: &[u64],
+    seen: &mut [bool],
+    body: &[GSym],
+    top: bool,
+    out: &mut RepetitionBreakdown,
+) {
+    for sym in body {
+        match sym {
+            GSym::Term(_) => {
+                if top {
+                    out.non_repetitive += 1;
+                } else {
+                    out.new += 1;
+                }
+            }
+            GSym::Rule(r) => {
+                if seen[*r] {
+                    out.head += 1;
+                    out.opportunity += lens[*r] - 1;
+                } else {
+                    seen[*r] = true;
+                    walk(grammar, lens, seen, grammar.rule(*r), false, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_repetition_is_mostly_opportunity() {
+        let seq: Vec<u64> = (0..10).cycle().take(100).collect();
+        let b = classify(seq);
+        assert_eq!(b.total(), 100);
+        assert!(
+            b.opportunity > 60,
+            "periodic input should be dominated by opportunity: {b:?}"
+        );
+        assert_eq!(b.non_repetitive, 0);
+    }
+
+    #[test]
+    fn unique_elements_are_non_repetitive() {
+        let seq: Vec<u64> = (0..100).collect();
+        let b = classify(seq);
+        assert_eq!(b.non_repetitive, 100);
+        assert_eq!(b.opportunity, 0);
+    }
+
+    #[test]
+    fn first_occurrence_counts_as_new() {
+        // abcabc: first abc = new (3), second = head(1) + opportunity(2).
+        let b = classify([1u64, 2, 3, 1, 2, 3]);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.new, 3);
+        assert_eq!(b.head, 1);
+        assert_eq!(b.opportunity, 2);
+        assert_eq!(b.non_repetitive, 0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = classify([1u64, 2, 3, 1, 2, 3, 9, 10, 11]);
+        let (o, h, n, x) = b.fractions();
+        assert!((o + h + n + x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let b = classify(std::iter::empty());
+        assert_eq!(b.total(), 0);
+        let (o, ..) = b.fractions();
+        assert_eq!(o, 0.0);
+    }
+}

@@ -1,0 +1,573 @@
+//! The Sequitur hierarchical grammar-inference algorithm
+//! (Nevill-Manning & Witten, 1997 — reference 9 of the paper).
+//!
+//! Sequitur incrementally builds a context-free grammar whose production
+//! rules correspond to repeated subsequences of its input, maintaining two
+//! invariants: **digram uniqueness** (no pair of adjacent symbols occurs
+//! twice in the grammar) and **rule utility** (every rule other than the
+//! root is referenced at least twice). The paper uses it (Section 5.3,
+//! Figure 7) to quantify temporal repetition in miss-address sequences.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+/// A grammar symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Sym {
+    /// A terminal (interned input value).
+    Term(u32),
+    /// A reference to a rule.
+    Rule(u32),
+    /// A rule's guard node (sentinel, never part of a digram).
+    Guard(u32),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    sym: Sym,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Clone, Debug)]
+struct RuleMeta {
+    guard: u32,
+    /// Node ids currently referencing this rule.
+    uses: Vec<u32>,
+}
+
+/// Incremental Sequitur grammar builder.
+///
+/// # Example
+///
+/// ```
+/// use stems_analysis::sequitur::Sequitur;
+///
+/// let mut s = Sequitur::new();
+/// for v in [1u64, 2, 3, 1, 2, 3, 1, 2, 3] {
+///     s.push(v);
+/// }
+/// let g = s.grammar();
+/// assert_eq!(g.expand_root(), vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
+/// assert!(g.rule_count() >= 1, "the repeat must become a rule");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    rules: Vec<RuleMeta>,
+    digrams: HashMap<(Sym, Sym), u32>,
+    terms: Vec<u64>,
+    intern: HashMap<u64, u32>,
+    /// Rules whose use count dropped to one mid-surgery; inlined at the
+    /// next safe point.
+    pending_utility: Vec<u32>,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Sequitur::new()
+    }
+}
+
+impl Sequitur {
+    /// Creates an empty grammar with just the root rule.
+    pub fn new() -> Self {
+        let mut s = Sequitur {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rules: Vec::new(),
+            digrams: HashMap::new(),
+            terms: Vec::new(),
+            intern: HashMap::new(),
+            pending_utility: Vec::new(),
+        };
+        s.new_rule(); // rule 0 = root
+        s
+    }
+
+    fn alloc(&mut self, sym: Sym) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node {
+                sym,
+                prev: NIL,
+                next: NIL,
+            };
+            i
+        } else {
+            self.nodes.push(Node {
+                sym,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn new_rule(&mut self) -> u32 {
+        let id = self.rules.len() as u32;
+        let guard = self.alloc(Sym::Guard(id));
+        self.nodes[guard as usize].prev = guard;
+        self.nodes[guard as usize].next = guard;
+        self.rules.push(RuleMeta {
+            guard,
+            uses: Vec::new(),
+        });
+        id
+    }
+
+    fn sym(&self, n: u32) -> Sym {
+        self.nodes[n as usize].sym
+    }
+
+    fn next(&self, n: u32) -> u32 {
+        self.nodes[n as usize].next
+    }
+
+    fn prev(&self, n: u32) -> u32 {
+        self.nodes[n as usize].prev
+    }
+
+    fn is_guard(&self, n: u32) -> bool {
+        matches!(self.sym(n), Sym::Guard(_))
+    }
+
+    /// Removes the digram starting at `n` from the index (if it is the
+    /// registered occurrence).
+    fn forget_digram(&mut self, n: u32) {
+        if self.is_guard(n) {
+            return;
+        }
+        let m = self.next(n);
+        if self.is_guard(m) {
+            return;
+        }
+        let key = (self.sym(n), self.sym(m));
+        if self.digrams.get(&key) == Some(&n) {
+            self.digrams.remove(&key);
+        }
+    }
+
+    /// Links `a -> b` (both existing nodes).
+    fn join(&mut self, a: u32, b: u32) {
+        self.nodes[a as usize].next = b;
+        self.nodes[b as usize].prev = a;
+    }
+
+    /// Inserts `sym` after node `after`, returning the new node.
+    fn insert_after(&mut self, after: u32, sym: Sym) -> u32 {
+        let n = self.alloc(sym);
+        let b = self.next(after);
+        self.forget_digram(after);
+        self.join(after, n);
+        self.join(n, b);
+        if let Sym::Rule(r) = sym {
+            self.rules[r as usize].uses.push(n);
+        }
+        n
+    }
+
+    /// Unlinks and frees node `n`.
+    fn delete_node(&mut self, n: u32) {
+        let (p, x) = (self.prev(n), self.next(n));
+        self.forget_digram(p);
+        self.forget_digram(n);
+        // Triple repair (the special case in classic Sequitur's join()):
+        // in a run of equal symbols "aaa", only the first `aa` digram is
+        // indexed and the overlapping one is shadowed. If `n` carried the
+        // indexed occurrence, re-register the shadowed neighbour so later
+        // occurrences still find a partner.
+        let sym_n = self.sym(n);
+        if !matches!(sym_n, Sym::Guard(_)) {
+            let xn = self.next(x);
+            if x != n && xn != x && self.sym(x) == sym_n && self.sym(xn) == sym_n {
+                self.digrams.entry((sym_n, sym_n)).or_insert(x);
+            }
+            let pp = self.prev(p);
+            if p != n && pp != p && self.sym(p) == sym_n && self.sym(pp) == sym_n {
+                self.digrams.entry((sym_n, sym_n)).or_insert(pp);
+            }
+        }
+        self.join(p, x);
+        if let Sym::Rule(r) = self.sym(n) {
+            let uses = &mut self.rules[r as usize].uses;
+            uses.retain(|&u| u != n);
+            if uses.len() == 1 {
+                self.pending_utility.push(r);
+            }
+        }
+        self.free.push(n);
+    }
+
+    /// Appends terminal `value` to the root rule and restores invariants.
+    pub fn push(&mut self, value: u64) {
+        let term = match self.intern.get(&value) {
+            Some(&t) => t,
+            None => {
+                let t = self.terms.len() as u32;
+                self.terms.push(value);
+                self.intern.insert(value, t);
+                t
+            }
+        };
+        let root_guard = self.rules[0].guard;
+        let last = self.prev(root_guard);
+        let n = self.insert_after(last, Sym::Term(term));
+        if !self.is_guard(self.prev(n)) {
+            self.check(self.prev(n));
+        }
+        // Inline any rules left with a single reference by the cascade.
+        while let Some(r) = self.pending_utility.pop() {
+            if self.rules[r as usize].uses.len() == 1 {
+                self.enforce_utility(Sym::Rule(r));
+            }
+        }
+    }
+
+    /// Enforces digram uniqueness for the digram starting at `a`.
+    /// Returns `true` if a substitution happened.
+    fn check(&mut self, a: u32) -> bool {
+        let b = self.next(a);
+        if self.is_guard(a) || self.is_guard(b) {
+            return false;
+        }
+        let key = (self.sym(a), self.sym(b));
+        match self.digrams.get(&key) {
+            None => {
+                self.digrams.insert(key, a);
+                false
+            }
+            Some(&m) if m == a || self.next(m) == a || m == b => {
+                // Same or overlapping occurrence (e.g. "aaa"): leave it.
+                false
+            }
+            Some(&m) => {
+                self.handle_match(a, m);
+                true
+            }
+        }
+    }
+
+    /// `a` and `m` start identical digrams at distinct positions.
+    fn handle_match(&mut self, a: u32, m: u32) {
+        // If m..next(m) constitutes the whole body of a rule, reuse it.
+        let full_rule = {
+            let p = self.prev(m);
+            let q = self.next(self.next(m));
+            match (self.sym(p), self.sym(q)) {
+                (Sym::Guard(r1), Sym::Guard(r2)) if r1 == r2 && r1 != 0 => Some(r1),
+                _ => None,
+            }
+        };
+        match full_rule {
+            Some(r) => {
+                self.substitute(a, r);
+            }
+            None => {
+                // Create a new rule from the digram.
+                let r = self.new_rule();
+                let guard = self.rules[r as usize].guard;
+                let s1 = self.sym(m);
+                let s2 = self.sym(self.next(m));
+                let n1 = self.insert_after(guard, s1);
+                let _n2 = self.insert_after(n1, s2);
+                // Index the rule's internal digram.
+                self.digrams.insert((s1, s2), n1);
+                // Replace both occurrences (old first, so the digram map
+                // does not resurrect stale positions).
+                self.substitute(m, r);
+                self.substitute(a, r);
+                // Rule utility: if the new rule's body references rules
+                // now used only once, inline them.
+                self.enforce_utility(s1);
+                self.enforce_utility(s2);
+            }
+        }
+    }
+
+    /// Replaces the digram starting at `a` with a reference to rule `r`,
+    /// then re-checks the surrounding digrams.
+    fn substitute(&mut self, a: u32, r: u32) {
+        let b = self.next(a);
+        let p = self.prev(a);
+        self.delete_node(b);
+        self.delete_node(a);
+        let n = self.insert_after(p, Sym::Rule(r));
+        // Restore invariants around the new symbol; check the left digram
+        // first (classic ordering).
+        if !self.is_guard(self.prev(n)) && self.check(self.prev(n)) {
+            return;
+        }
+        if !self.is_guard(self.next(n)) {
+            self.check(n);
+        }
+    }
+
+    /// Inlines `sym`'s rule if it is referenced exactly once (rule
+    /// utility). The body's node list is *spliced* into the use site, so
+    /// all internal digram index entries remain valid; only the two seam
+    /// digrams need re-checking.
+    fn enforce_utility(&mut self, sym: Sym) {
+        let Sym::Rule(r) = sym else {
+            return;
+        };
+        if self.rules[r as usize].uses.len() != 1 {
+            return;
+        }
+        let use_node = self.rules[r as usize].uses[0];
+        let guard = self.rules[r as usize].guard;
+        let first = self.next(guard);
+        let last = self.prev(guard);
+        let p = self.prev(use_node);
+        let q = self.next(use_node);
+        // Detach the use node (forgetting its seam digrams).
+        self.forget_digram(p);
+        self.forget_digram(use_node);
+        self.rules[r as usize].uses.clear();
+        self.free.push(use_node);
+        if first == guard {
+            // Empty body: just close the gap.
+            self.join(p, q);
+        } else {
+            self.join(p, first);
+            self.join(last, q);
+        }
+        // Retire the rule.
+        self.nodes[guard as usize].next = guard;
+        self.nodes[guard as usize].prev = guard;
+        // Re-check the seams, right one first so `p` stays valid.
+        if first != guard && !self.is_guard(last) && !self.is_guard(self.next(last)) {
+            self.check(last);
+        }
+        if !self.is_guard(p) && !self.is_guard(self.next(p)) {
+            self.check(p);
+        }
+    }
+
+    /// Extracts an immutable grammar snapshot for analysis.
+    pub fn grammar(&self) -> Grammar {
+        let mut rules = Vec::with_capacity(self.rules.len());
+        for meta in &self.rules {
+            let mut body = Vec::new();
+            let mut cur = self.next(meta.guard);
+            while cur != meta.guard {
+                body.push(match self.sym(cur) {
+                    Sym::Term(t) => GSym::Term(self.terms[t as usize]),
+                    Sym::Rule(r) => GSym::Rule(r as usize),
+                    Sym::Guard(_) => unreachable!("guard inside body"),
+                });
+                cur = self.next(cur);
+            }
+            rules.push(body);
+        }
+        Grammar { rules }
+    }
+
+    /// Builds a grammar from a complete sequence.
+    pub fn build(seq: impl IntoIterator<Item = u64>) -> Grammar {
+        let mut s = Sequitur::new();
+        for v in seq {
+            s.push(v);
+        }
+        s.grammar()
+    }
+}
+
+/// A symbol in an extracted [`Grammar`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GSym {
+    /// A terminal input value.
+    Term(u64),
+    /// A rule reference.
+    Rule(usize),
+}
+
+/// An extracted grammar: rule 0 is the root.
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    rules: Vec<Vec<GSym>>,
+}
+
+impl Grammar {
+    /// The root rule's body.
+    pub fn root(&self) -> &[GSym] {
+        &self.rules[0]
+    }
+
+    /// A rule's body.
+    pub fn rule(&self, r: usize) -> &[GSym] {
+        &self.rules[r]
+    }
+
+    /// Number of non-root rules with nonempty bodies.
+    pub fn rule_count(&self) -> usize {
+        self.rules[1..].iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Expanded length of each rule.
+    pub fn expansion_lengths(&self) -> Vec<u64> {
+        let mut lens = vec![0u64; self.rules.len()];
+        // Rules reference only earlier-created rules? Not guaranteed;
+        // resolve with a simple fixpoint (grammars are acyclic).
+        fn len(rules: &[Vec<GSym>], memo: &mut [u64], r: usize) -> u64 {
+            if memo[r] != 0 {
+                return memo[r];
+            }
+            let mut total = 0;
+            for s in &rules[r] {
+                total += match s {
+                    GSym::Term(_) => 1,
+                    GSym::Rule(q) => len(rules, memo, *q),
+                };
+            }
+            memo[r] = total;
+            total
+        }
+        for r in 0..self.rules.len() {
+            len(&self.rules, &mut lens, r);
+        }
+        lens
+    }
+
+    /// Fully expands the root back to the input sequence.
+    pub fn expand_root(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.expand_into(0, &mut out);
+        out
+    }
+
+    fn expand_into(&self, r: usize, out: &mut Vec<u64>) {
+        for s in &self.rules[r] {
+            match s {
+                GSym::Term(v) => out.push(*v),
+                GSym::Rule(q) => self.expand_into(*q, out),
+            }
+        }
+    }
+
+    /// Verifies the digram-uniqueness invariant (diagnostic).
+    ///
+    /// Overlapping occurrences are exempt, as in the original algorithm:
+    /// in `aaa` the two `aa` digrams share a symbol and cannot be folded.
+    pub fn digrams_are_unique(&self) -> bool {
+        let mut last: std::collections::HashMap<(GSym, GSym), (usize, usize)> =
+            std::collections::HashMap::new();
+        for (r, body) in self.rules.iter().enumerate() {
+            for (i, w) in body.windows(2).enumerate() {
+                let key = (w[0], w[1]);
+                if let Some(&(pr, pi)) = last.get(&key) {
+                    let overlaps = pr == r && pi + 1 == i && w[0] == w[1];
+                    if !overlaps {
+                        return false;
+                    }
+                }
+                last.insert(key, (r, i));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: &[u64]) -> Grammar {
+        let g = Sequitur::build(input.iter().copied());
+        assert_eq!(g.expand_root(), input, "expansion must reproduce input");
+        g
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let g = round_trip(&[]);
+        assert_eq!(g.rule_count(), 0);
+        round_trip(&[7]);
+    }
+
+    #[test]
+    fn no_repetition_no_rules() {
+        let g = round_trip(&[1, 2, 3, 4, 5]);
+        assert_eq!(g.rule_count(), 0);
+    }
+
+    #[test]
+    fn classic_abcabc() {
+        let g = round_trip(&[1, 2, 3, 1, 2, 3]);
+        assert!(g.rule_count() >= 1);
+        assert!(g.digrams_are_unique());
+        // Root should be two references to the same rule.
+        assert_eq!(g.root().len(), 2);
+        assert_eq!(g.root()[0], g.root()[1]);
+    }
+
+    #[test]
+    fn nested_repetition_forms_hierarchy() {
+        // abab abab -> rule for ab, rule for abab.
+        let g = round_trip(&[1, 2, 1, 2, 1, 2, 1, 2]);
+        assert!(g.rule_count() >= 2, "expected nested rules: {g:?}");
+        assert!(g.digrams_are_unique());
+    }
+
+    #[test]
+    fn overlapping_digrams_aaa() {
+        round_trip(&[5, 5, 5]);
+        round_trip(&[5, 5, 5, 5]);
+        round_trip(&[5, 5, 5, 5, 5, 5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn utility_inlines_single_use_rules() {
+        // Rule bodies must not contain rules used once.
+        let g = round_trip(&[1, 2, 3, 4, 1, 2, 3, 4, 9, 1, 2, 3, 4]);
+        let mut counts = vec![0usize; g.rules.len()];
+        for body in &g.rules {
+            for s in body {
+                if let GSym::Rule(r) = s {
+                    counts[*r] += 1;
+                }
+            }
+        }
+        for (r, &c) in counts.iter().enumerate().skip(1) {
+            if !g.rules[r].is_empty() {
+                assert!(c >= 2, "rule {r} used {c} times: {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_periodic_input_compresses_well() {
+        let period: Vec<u64> = (0..50).collect();
+        let input: Vec<u64> = (0..20).flat_map(|_| period.clone()).collect();
+        let g = round_trip(&input);
+        // 1000 symbols of pure repetition: the root must be far shorter.
+        assert!(
+            g.root().len() < 200,
+            "root length {} for periodic input",
+            g.root().len()
+        );
+        assert!(g.digrams_are_unique());
+    }
+
+    #[test]
+    fn pseudorandom_round_trip_stress() {
+        let mut x = 0x12345u64;
+        let input: Vec<u64> = (0..3000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) % 40 // small alphabet -> plenty of repetition
+            })
+            .collect();
+        let g = round_trip(&input);
+        assert!(g.digrams_are_unique());
+    }
+
+    #[test]
+    fn expansion_lengths_sum_matches() {
+        let input = [1u64, 2, 3, 1, 2, 3, 1, 2, 3, 4];
+        let g = round_trip(&input);
+        let lens = g.expansion_lengths();
+        assert_eq!(lens[0] as usize, input.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! One benchmark per reproduced table/figure (DESIGN.md §4), at reduced
+//! scale so `cargo bench` terminates quickly. Each benchmark runs the
+//! same pipeline as the corresponding `stems-harness` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use stems_harness::figs;
+use stems_harness::runner::Settings;
+
+const SCALE: f64 = 0.02;
+
+fn settings() -> Settings {
+    Settings {
+        scale: SCALE,
+        seed: 2009,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_parameters", |b| {
+        b.iter(|| figs::table1(settings()))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_joint_analysis", |b| {
+        b.iter(|| figs::fig6_data(settings()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_sequitur_repetition", |b| b.iter(|| figs::fig7(settings())));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_correlation_distance", |b| {
+        b.iter(|| figs::fig8(settings()))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_coverage_comparison", |b| {
+        b.iter(|| figs::fig9_data(settings()))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_speedup", |b| b.iter(|| figs::fig10_data(settings())));
+}
+
+fn bench_naive_hybrid(c: &mut Criterion) {
+    c.bench_function("naive_hybrid_comparison", |b| {
+        b.iter(|| figs::naive_hybrid(settings()))
+    });
+}
+
+fn bench_recon_stats(c: &mut Criterion) {
+    c.bench_function("recon_placement_stats", |b| {
+        b.iter(|| figs::recon_stats(settings()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig6, bench_fig7, bench_fig8, bench_fig9,
+              bench_fig10, bench_naive_hybrid, bench_recon_stats
+}
+criterion_main!(figures);

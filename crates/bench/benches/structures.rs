@@ -1,0 +1,114 @@
+//! Microbenchmarks of the predictor substrates: these are the per-access
+//! hot paths of the simulator, so their throughput bounds every
+//! experiment's runtime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use stems_analysis::Sequitur;
+use stems_core::engine::{CoverageSim, NullPrefetcher};
+use stems_core::util::{LruTable, OrderBuffer};
+use stems_core::{PrefetchConfig, SmsPrefetcher, StemsPrefetcher, TmsPrefetcher};
+use stems_memsim::{Cache, CacheConfig, SystemConfig};
+use stems_types::BlockAddr;
+use stems_workloads::Workload;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("setassoc_access_10k", |b| {
+        let cfg = CacheConfig {
+            size_bytes: 64 * 1024,
+            associativity: 2,
+        };
+        b.iter(|| {
+            let mut cache = Cache::new(&cfg);
+            for i in 0..10_000u64 {
+                cache.access(BlockAddr::new((i * 7919) % 4096), false);
+            }
+            black_box(cache.misses())
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_table");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("insert_get_10k", |b| {
+        b.iter(|| {
+            let mut t: LruTable<u64, u64> = LruTable::new(1024);
+            for i in 0..10_000u64 {
+                t.insert(i % 2048, i);
+                black_box(t.get(&(i % 1024)));
+            }
+            t.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_order_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("order_buffer");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("append_lookup_10k", |b| {
+        b.iter(|| {
+            let mut buf: OrderBuffer<BlockAddr> = OrderBuffer::new(4096);
+            for i in 0..10_000u64 {
+                buf.append(BlockAddr::new(i % 3000));
+                black_box(buf.lookup(BlockAddr::new((i * 13) % 3000)));
+            }
+            buf.appended()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sequitur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequitur");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("build_20k_periodic", |b| {
+        let input: Vec<u64> = (0..20_000).map(|i| (i % 173) as u64).collect();
+        b.iter(|| Sequitur::build(input.iter().copied()))
+    });
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_generation");
+    for w in [Workload::Db2, Workload::Qry2, Workload::Em3d] {
+        g.bench_function(w.name(), |b| {
+            b.iter(|| black_box(w.generate_scaled(0.01, 1)).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_prefetcher_throughput(c: &mut Criterion) {
+    let trace = Workload::Db2.generate_scaled(0.02, 7);
+    let sys = SystemConfig::small();
+    let cfg = PrefetchConfig::commercial();
+    let mut g = c.benchmark_group("engine_steps");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+    g.bench_function("baseline", |b| {
+        b.iter(|| CoverageSim::new(&sys, &cfg, NullPrefetcher).run(&trace))
+    });
+    g.bench_function("tms", |b| {
+        b.iter(|| CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg)).run(&trace))
+    });
+    g.bench_function("sms", |b| {
+        b.iter(|| CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg)).run(&trace))
+    });
+    g.bench_function("stems", |b| {
+        b.iter(|| CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg)).run(&trace))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = structures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_lru, bench_order_buffer, bench_sequitur,
+              bench_workload_generation, bench_prefetcher_throughput
+}
+criterion_main!(structures);

@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see `benches/figures.rs` (one benchmark per
+//! reproduced table/figure) and `benches/structures.rs` (microbenchmarks
+//! of the predictor data structures). Run with `cargo bench`.

@@ -1,0 +1,123 @@
+//! Predictor hardware parameters (Section 4.3).
+
+/// Sizing and tuning knobs for all prefetchers, at the paper's defaults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Streamed value buffer entries (64).
+    pub svb_entries: usize,
+    /// Number of stream queues (8).
+    pub stream_queues: usize,
+    /// Blocks per stream kept fetched ahead of consumption
+    /// (8 commercial / 12 scientific).
+    pub lookahead: usize,
+    /// Active generation table entries (64).
+    pub agt_entries: usize,
+    /// SMS pattern history table entries (16K).
+    pub pht_entries: usize,
+    /// STeMS pattern sequence table entries (16K).
+    pub pst_entries: usize,
+    /// TMS circular miss-order buffer entries (384K).
+    pub cmob_entries: usize,
+    /// STeMS region miss-order buffer entries (128K).
+    pub rmob_entries: usize,
+    /// Reconstruction buffer slots (256).
+    pub recon_entries: usize,
+    /// Adjacent free-slot search distance during reconstruction (2).
+    pub recon_search: usize,
+    /// Stride predictor: maximum distinct (PC) strides tracked (16).
+    pub stride_entries: usize,
+    /// Stride predictor: blocks fetched ahead once a stride is confident.
+    pub stride_degree: usize,
+    /// Pending prefetch addresses below which a stream asks its source
+    /// for more (reconstruction resume / further CMOB reads).
+    pub refill_threshold: usize,
+    /// Addresses fetched from the history source per refill request.
+    pub refill_chunk: usize,
+    /// Whether STeMS may start spatial-only streams (Section 4.2) —
+    /// disabled only by the ablation harness.
+    pub spatial_only_streams: bool,
+}
+
+impl PrefetchConfig {
+    /// Paper configuration for commercial workloads (lookahead 8).
+    pub fn commercial() -> Self {
+        PrefetchConfig {
+            svb_entries: 64,
+            stream_queues: 8,
+            lookahead: 8,
+            agt_entries: 64,
+            pht_entries: 16 * 1024,
+            pst_entries: 16 * 1024,
+            cmob_entries: 384 * 1024,
+            rmob_entries: 128 * 1024,
+            recon_entries: 256,
+            recon_search: 2,
+            stride_entries: 16,
+            stride_degree: 4,
+            refill_threshold: 8,
+            refill_chunk: 16,
+            spatial_only_streams: true,
+        }
+    }
+
+    /// Paper configuration for scientific workloads (lookahead 12,
+    /// Section 4.3: higher bandwidth requirements).
+    pub fn scientific() -> Self {
+        PrefetchConfig {
+            lookahead: 12,
+            ..PrefetchConfig::commercial()
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests.
+    pub fn small() -> Self {
+        PrefetchConfig {
+            svb_entries: 8,
+            stream_queues: 2,
+            lookahead: 4,
+            agt_entries: 4,
+            pht_entries: 64,
+            pst_entries: 64,
+            cmob_entries: 256,
+            rmob_entries: 256,
+            recon_entries: 64,
+            recon_search: 2,
+            stride_entries: 4,
+            stride_degree: 2,
+            refill_threshold: 4,
+            refill_chunk: 8,
+            spatial_only_streams: true,
+        }
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig::commercial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = PrefetchConfig::commercial();
+        assert_eq!(c.svb_entries, 64);
+        assert_eq!(c.stream_queues, 8);
+        assert_eq!(c.lookahead, 8);
+        assert_eq!(c.pst_entries, 16384);
+        assert_eq!(c.rmob_entries, 131072);
+        assert_eq!(c.cmob_entries, 393216);
+        assert_eq!(c.recon_entries, 256);
+    }
+
+    #[test]
+    fn scientific_raises_lookahead_only() {
+        let c = PrefetchConfig::scientific();
+        let d = PrefetchConfig::commercial();
+        assert_eq!(c.lookahead, 12);
+        assert_eq!(c.svb_entries, d.svb_entries);
+    }
+}

@@ -1,0 +1,498 @@
+//! The coverage simulator: caches + SVB + prefetcher over a trace.
+
+use std::collections::HashSet;
+
+use stems_memsim::{Hierarchy, Level, SystemConfig};
+use stems_trace::{Access, Trace};
+use stems_types::BlockAddr;
+
+use crate::util::XorShift64;
+
+use super::{AccessEvent, EvictKind, PrefetchSink, Prefetcher, Satisfied, StreamTag, Svb};
+
+/// Counters produced by a coverage run (Figure 9 accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Demand accesses processed.
+    pub accesses: u64,
+    /// Demand reads processed.
+    pub reads: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (after missing L1 and SVB).
+    pub l2_hits: u64,
+    /// Off-chip read misses eliminated by prefetching.
+    pub covered: u64,
+    /// Off-chip read misses suffered.
+    pub uncovered: u64,
+    /// Erroneously fetched blocks (evicted/invalidated/never used).
+    pub overpredictions: u64,
+    /// Blocks fetched from off-chip by the prefetcher (bandwidth).
+    pub fetches: u64,
+    /// Off-chip write misses (not part of read-coverage metrics).
+    pub offchip_writes: u64,
+    /// Coherence invalidations injected.
+    pub invalidations: u64,
+}
+
+impl Counters {
+    /// Off-chip read misses the un-prefetched run would suffer
+    /// (covered + uncovered in this run).
+    pub fn offchip_reads(&self) -> u64 {
+        self.covered + self.uncovered
+    }
+
+    /// Coverage as a fraction of `baseline` off-chip read misses.
+    pub fn coverage_vs(&self, baseline: u64) -> f64 {
+        if baseline == 0 {
+            0.0
+        } else {
+            self.covered as f64 / baseline as f64
+        }
+    }
+
+    /// Overpredictions as a fraction of `baseline` off-chip read misses.
+    pub fn overprediction_vs(&self, baseline: u64) -> f64 {
+        if baseline == 0 {
+            0.0
+        } else {
+            self.overpredictions as f64 / baseline as f64
+        }
+    }
+}
+
+/// Injects coherence invalidations, standing in for the write traffic of
+/// the other 15 nodes of the paper's multiprocessor (see DESIGN.md §2).
+///
+/// Every access, with probability `rate`, one recently touched block is
+/// invalidated from the L1/L2/SVB — ending any spatial generation covering
+/// it, exactly as a remote write would.
+#[derive(Clone, Debug)]
+pub struct InvalidationInjector {
+    rate: f64,
+    rng: XorShift64,
+    recent: Vec<BlockAddr>,
+    cursor: usize,
+}
+
+impl InvalidationInjector {
+    /// Creates an injector firing with probability `rate` per access.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        InvalidationInjector {
+            rate,
+            rng: XorShift64::new(seed),
+            recent: Vec::with_capacity(1024),
+            cursor: 0,
+        }
+    }
+
+    fn observe(&mut self, block: BlockAddr) {
+        if self.recent.len() < 1024 {
+            self.recent.push(block);
+        } else {
+            self.recent[self.cursor] = block;
+            self.cursor = (self.cursor + 1) % 1024;
+        }
+    }
+
+    fn pick(&mut self) -> Option<BlockAddr> {
+        if self.recent.is_empty() || !self.rng.chance(self.rate) {
+            return None;
+        }
+        let i = self.rng.below(self.recent.len() as u64) as usize;
+        Some(self.recent[i])
+    }
+}
+
+/// Per-access outcome reported by [`CoverageSim::step`], consumed by the
+/// timing model (which needs to know where each access was satisfied and
+/// which prefetches were issued when).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Where the demand access was satisfied.
+    pub satisfied: Satisfied,
+    /// Whether it was satisfied by a previously prefetched block (an SVB
+    /// hit, or the first touch of an SMS-style L1 prefetch).
+    pub prefetched_hit: bool,
+    /// Blocks fetched from off-chip by the prefetcher during this step.
+    pub fetched: Vec<BlockAddr>,
+}
+
+/// Trace-driven simulator of one node: L1/L2 hierarchy, SVB, and a
+/// [`Prefetcher`].
+///
+/// # Example
+///
+/// ```
+/// use stems_core::engine::{CoverageSim, NullPrefetcher};
+/// use stems_core::PrefetchConfig;
+/// use stems_memsim::SystemConfig;
+/// use stems_trace::Trace;
+///
+/// let mut t = Trace::new();
+/// t.read(0x400, 0x10_0000);
+/// t.read(0x400, 0x10_0000);
+/// let mut sim = CoverageSim::new(&SystemConfig::small(), &PrefetchConfig::small(), NullPrefetcher);
+/// let counters = sim.run(&t);
+/// assert_eq!(counters.uncovered, 1); // cold miss, then L1 hit
+/// ```
+#[derive(Debug)]
+pub struct CoverageSim<P> {
+    hierarchy: Hierarchy,
+    svb: Svb,
+    l1_prefetched_unused: HashSet<BlockAddr>,
+    counters: Counters,
+    prefetcher: P,
+    injector: Option<InvalidationInjector>,
+}
+
+struct EngineSink<'a> {
+    hierarchy: &'a mut Hierarchy,
+    svb: &'a mut Svb,
+    l1_prefetched_unused: &'a mut HashSet<BlockAddr>,
+    counters: &'a mut Counters,
+    svb_evictions: Vec<(BlockAddr, StreamTag)>,
+    l1_evictions: Vec<BlockAddr>,
+    fetched: Vec<BlockAddr>,
+}
+
+impl PrefetchSink for EngineSink<'_> {
+    fn fetch_svb(&mut self, block: BlockAddr, tag: StreamTag) -> bool {
+        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) || self.svb.contains(block)
+        {
+            return false;
+        }
+        self.counters.fetches += 1;
+        self.fetched.push(block);
+        if let Some((b, t)) = self.svb.insert(block, tag) {
+            self.counters.overpredictions += 1;
+            self.svb_evictions.push((b, t));
+        }
+        true
+    }
+
+    fn fetch_l1(&mut self, block: BlockAddr) -> bool {
+        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) || self.svb.contains(block)
+        {
+            return false;
+        }
+        self.counters.fetches += 1;
+        self.fetched.push(block);
+        self.l1_prefetched_unused.insert(block);
+        for evicted in self.hierarchy.fill(block) {
+            if self.l1_prefetched_unused.remove(&evicted) {
+                self.counters.overpredictions += 1;
+            }
+            self.l1_evictions.push(evicted);
+        }
+        true
+    }
+
+    fn flush_stream(&mut self, tag: StreamTag) {
+        let flushed = self.svb.flush_tag(tag);
+        self.counters.overpredictions += flushed.len() as u64;
+    }
+
+    fn in_l1(&self, block: BlockAddr) -> bool {
+        self.hierarchy.in_l1(block)
+    }
+
+    fn in_l2(&self, block: BlockAddr) -> bool {
+        self.hierarchy.in_l2(block)
+    }
+
+    fn in_svb(&self, block: BlockAddr) -> bool {
+        self.svb.contains(block)
+    }
+}
+
+impl<P: Prefetcher> CoverageSim<P> {
+    /// Creates a simulator with empty caches.
+    pub fn new(
+        system: &SystemConfig,
+        prefetch: &crate::PrefetchConfig,
+        prefetcher: P,
+    ) -> Self {
+        CoverageSim {
+            hierarchy: Hierarchy::new(system),
+            svb: Svb::new(prefetch.svb_entries),
+            l1_prefetched_unused: HashSet::new(),
+            counters: Counters::default(),
+            prefetcher,
+            injector: None,
+        }
+    }
+
+    /// Enables coherence-invalidation injection at `rate` per access.
+    pub fn with_invalidations(mut self, rate: f64, seed: u64) -> Self {
+        self.injector = Some(InvalidationInjector::new(rate, seed));
+        self
+    }
+
+    /// The prefetcher under test.
+    pub fn prefetcher(&self) -> &P {
+        &self.prefetcher
+    }
+
+    /// Mutable access to the prefetcher (for inspecting internal stats).
+    pub fn prefetcher_mut(&mut self) -> &mut P {
+        &mut self.prefetcher
+    }
+
+    /// Counters accumulated so far (call [`CoverageSim::finalize`] first
+    /// for end-of-run overprediction accounting).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Processes one access, returning where it was satisfied and which
+    /// prefetches were issued.
+    pub fn step(&mut self, access: &Access) -> StepOutcome {
+        self.maybe_invalidate();
+        let block = access.addr.block();
+        let is_write = !access.is_read();
+        self.counters.accesses += 1;
+        if access.is_read() {
+            self.counters.reads += 1;
+        }
+        if let Some(inj) = &mut self.injector {
+            inj.observe(block);
+        }
+
+        let mut l1_evicted: Vec<BlockAddr> = Vec::new();
+        let mut prefetched_hit = false;
+        let satisfied = if self.hierarchy.in_l1(block) {
+            self.hierarchy.access(block, is_write);
+            self.counters.l1_hits += 1;
+            if self.l1_prefetched_unused.remove(&block) {
+                prefetched_hit = true;
+                if access.is_read() {
+                    // First use of an SMS-style prefetched block: an
+                    // off-chip miss avoided.
+                    self.counters.covered += 1;
+                }
+            }
+            Satisfied::L1
+        } else if let Some(tag) = self.svb.take(block) {
+            prefetched_hit = true;
+            if access.is_read() {
+                self.counters.covered += 1;
+            }
+            l1_evicted.extend(self.hierarchy.fill(block));
+            Satisfied::Svb(tag)
+        } else {
+            let out = self.hierarchy.access(block, is_write);
+            l1_evicted.extend(out.l1_evicted);
+            match out.level {
+                Level::L2 => {
+                    self.counters.l2_hits += 1;
+                    Satisfied::L2
+                }
+                Level::Memory => {
+                    if access.is_read() {
+                        self.counters.uncovered += 1;
+                    } else {
+                        self.counters.offchip_writes += 1;
+                    }
+                    Satisfied::OffChip
+                }
+                Level::L1 => unreachable!("in_l1 was checked above"),
+            }
+        };
+
+        for &b in &l1_evicted {
+            if self.l1_prefetched_unused.remove(&b) {
+                self.counters.overpredictions += 1;
+            }
+            self.prefetcher.on_l1_evict(b, EvictKind::Replacement);
+        }
+
+        let ev = AccessEvent {
+            pc: access.pc,
+            block,
+            is_write,
+            satisfied,
+        };
+        let mut sink = EngineSink {
+            hierarchy: &mut self.hierarchy,
+            svb: &mut self.svb,
+            l1_prefetched_unused: &mut self.l1_prefetched_unused,
+            counters: &mut self.counters,
+            svb_evictions: Vec::new(),
+            l1_evictions: Vec::new(),
+            fetched: Vec::new(),
+        };
+        self.prefetcher.on_access(&ev, &mut sink);
+        let EngineSink {
+            svb_evictions,
+            l1_evictions,
+            fetched,
+            ..
+        } = sink;
+        for (b, t) in svb_evictions {
+            self.prefetcher.on_svb_evict(b, t);
+        }
+        for b in l1_evictions {
+            self.prefetcher.on_l1_evict(b, EvictKind::Replacement);
+        }
+        StepOutcome {
+            satisfied,
+            prefetched_hit,
+            fetched,
+        }
+    }
+
+    fn maybe_invalidate(&mut self) {
+        let Some(inj) = &mut self.injector else {
+            return;
+        };
+        let Some(block) = inj.pick() else {
+            return;
+        };
+        self.counters.invalidations += 1;
+        if self.hierarchy.invalidate(block) {
+            if self.l1_prefetched_unused.remove(&block) {
+                self.counters.overpredictions += 1;
+            }
+            self.prefetcher.on_l1_evict(block, EvictKind::Coherence);
+        }
+        if let Some(tag) = self.svb.take(block) {
+            self.counters.overpredictions += 1;
+            self.prefetcher.on_svb_evict(block, tag);
+        }
+    }
+
+    /// Counts blocks still sitting unconsumed in the SVB or tagged in the
+    /// L1 as overpredictions. Call once at end of run.
+    pub fn finalize(&mut self) -> Counters {
+        let stranded = self.svb.drain_all();
+        self.counters.overpredictions += stranded.len() as u64;
+        self.counters.overpredictions += self.l1_prefetched_unused.len() as u64;
+        self.l1_prefetched_unused.clear();
+        self.counters
+    }
+
+    /// Runs the whole trace and finalizes.
+    pub fn run(&mut self, trace: &Trace) -> Counters {
+        for a in trace.iter() {
+            self.step(a);
+        }
+        self.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullPrefetcher;
+    use crate::PrefetchConfig;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::small()
+    }
+
+    fn cfg() -> PrefetchConfig {
+        PrefetchConfig::small()
+    }
+
+    #[test]
+    fn cold_misses_are_uncovered() {
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.read(0x400, i * 1024 * 1024);
+        }
+        let c = CoverageSim::new(&sys(), &cfg(), NullPrefetcher).run(&t);
+        assert_eq!(c.uncovered, 10);
+        assert_eq!(c.covered, 0);
+        assert_eq!(c.reads, 10);
+    }
+
+    #[test]
+    fn repeat_accesses_hit_l1() {
+        let mut t = Trace::new();
+        t.read(1, 0x1000);
+        t.read(1, 0x1000);
+        t.read(1, 0x1010); // same block
+        let c = CoverageSim::new(&sys(), &cfg(), NullPrefetcher).run(&t);
+        assert_eq!(c.uncovered, 1);
+        assert_eq!(c.l1_hits, 2);
+    }
+
+    /// A prefetcher that fetches block+1 into the SVB on every off-chip
+    /// read miss (degenerate next-line prefetcher) — exercises the SVB
+    /// cover path.
+    struct NextLine;
+
+    impl Prefetcher for NextLine {
+        fn name(&self) -> &str {
+            "next-line"
+        }
+        fn on_access(&mut self, ev: &AccessEvent, sink: &mut dyn PrefetchSink) {
+            if ev.satisfied == Satisfied::OffChip && !ev.is_write {
+                if let Some(next) = ev.block.offset_by(1) {
+                    sink.fetch_svb(next, StreamTag(0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn svb_hit_counts_as_covered() {
+        let mut t = Trace::new();
+        t.read(1, 0); // miss, prefetches block 1
+        t.read(1, 64); // SVB hit -> covered
+        let c = CoverageSim::new(&sys(), &cfg(), NextLine).run(&t);
+        assert_eq!(c.uncovered, 1);
+        assert_eq!(c.covered, 1);
+        assert_eq!(c.fetches, 1);
+        assert_eq!(c.overpredictions, 0);
+        assert_eq!(c.offchip_reads(), 2);
+    }
+
+    #[test]
+    fn unused_prefetch_counts_as_overprediction() {
+        let mut t = Trace::new();
+        t.read(1, 0); // prefetches block 1, never used
+        let c = CoverageSim::new(&sys(), &cfg(), NextLine).run(&t);
+        assert_eq!(c.covered, 0);
+        assert_eq!(c.overpredictions, 1);
+    }
+
+    #[test]
+    fn fetches_are_filtered_by_residency() {
+        let mut t = Trace::new();
+        t.read(1, 64); // miss on block 1; prefetches block 2
+        t.read(1, 0); // miss on block 0; prefetch of block 1 refused (L1)
+        let mut sim = CoverageSim::new(&sys(), &cfg(), NextLine);
+        let c = sim.run(&t);
+        assert_eq!(c.fetches, 1);
+        assert_eq!(c.overpredictions, 1); // block 2 never consumed
+    }
+
+    #[test]
+    fn coverage_ratios() {
+        let c = Counters {
+            covered: 30,
+            uncovered: 70,
+            overpredictions: 20,
+            ..Counters::default()
+        };
+        assert!((c.coverage_vs(100) - 0.3).abs() < 1e-12);
+        assert!((c.overprediction_vs(100) - 0.2).abs() < 1e-12);
+        assert_eq!(c.coverage_vs(0), 0.0);
+    }
+
+    #[test]
+    fn invalidation_injection_invalidates_and_counts() {
+        let mut t = Trace::new();
+        for i in 0..2000u64 {
+            t.read(1, (i % 16) * 64);
+        }
+        let mut sim =
+            CoverageSim::new(&sys(), &cfg(), NullPrefetcher).with_invalidations(0.05, 7);
+        let c = sim.run(&t);
+        assert!(c.invalidations > 0);
+        // Invalidations force re-misses of the 16-block working set.
+        assert!(c.uncovered > 16);
+    }
+}

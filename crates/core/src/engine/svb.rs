@@ -1,0 +1,171 @@
+//! The streamed value buffer (SVB).
+//!
+//! A small fully-associative buffer (64 entries, Section 4.3) holding
+//! prefetched blocks next to the L1. Blocks move to the L1 when consumed;
+//! capacity evictions are FIFO and count as overpredictions at the engine.
+
+use std::collections::{HashMap, VecDeque};
+
+use stems_types::BlockAddr;
+
+use super::StreamTag;
+
+/// The streamed value buffer: block tags plus owning-stream tags.
+#[derive(Clone, Debug)]
+pub struct Svb {
+    capacity: usize,
+    fifo: VecDeque<(BlockAddr, StreamTag)>,
+    index: HashMap<BlockAddr, StreamTag>,
+}
+
+impl Svb {
+    /// Creates an empty SVB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "SVB capacity must be nonzero");
+        Svb {
+            capacity,
+            fifo: VecDeque::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the SVB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `block` is resident.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.index.contains_key(&block)
+    }
+
+    /// Inserts a prefetched block; returns the FIFO-evicted victim if the
+    /// buffer was full. Inserting a resident block is a no-op.
+    pub fn insert(&mut self, block: BlockAddr, tag: StreamTag) -> Option<(BlockAddr, StreamTag)> {
+        if self.index.contains_key(&block) {
+            return None;
+        }
+        let mut evicted = None;
+        if self.index.len() == self.capacity {
+            // Oldest entry still resident (lazy deletion: skip stale).
+            while let Some((b, t)) = self.fifo.pop_front() {
+                if self.index.remove(&b).is_some() {
+                    evicted = Some((b, t));
+                    break;
+                }
+            }
+        }
+        self.index.insert(block, tag);
+        self.fifo.push_back((block, tag));
+        evicted
+    }
+
+    /// Consumes `block` (prefetch hit), returning its stream tag.
+    pub fn take(&mut self, block: BlockAddr) -> Option<StreamTag> {
+        // FIFO entry is removed lazily on rotation.
+        self.index.remove(&block)
+    }
+
+    /// Removes every block owned by `tag`, returning them (stream
+    /// reallocation flush).
+    pub fn flush_tag(&mut self, tag: StreamTag) -> Vec<BlockAddr> {
+        let victims: Vec<BlockAddr> = self
+            .index
+            .iter()
+            .filter(|&(_, &t)| t == tag)
+            .map(|(&b, _)| b)
+            .collect();
+        for b in &victims {
+            self.index.remove(b);
+        }
+        victims
+    }
+
+    /// Removes all blocks, returning `(block, tag)` pairs (end-of-run
+    /// accounting of never-consumed prefetches).
+    pub fn drain_all(&mut self) -> Vec<(BlockAddr, StreamTag)> {
+        self.fifo.clear();
+        self.index.drain().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    #[test]
+    fn insert_take_round_trip() {
+        let mut s = Svb::new(4);
+        assert_eq!(s.insert(b(1), StreamTag(0)), None);
+        assert!(s.contains(b(1)));
+        assert_eq!(s.take(b(1)), Some(StreamTag(0)));
+        assert!(!s.contains(b(1)));
+        assert_eq!(s.take(b(1)), None);
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut s = Svb::new(2);
+        s.insert(b(1), StreamTag(0));
+        s.insert(b(2), StreamTag(1));
+        let evicted = s.insert(b(3), StreamTag(2));
+        assert_eq!(evicted, Some((b(1), StreamTag(0))));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut s = Svb::new(2);
+        s.insert(b(1), StreamTag(0));
+        assert_eq!(s.insert(b(1), StreamTag(5)), None);
+        assert_eq!(s.take(b(1)), Some(StreamTag(0)));
+    }
+
+    #[test]
+    fn lazy_deletion_skips_taken_entries() {
+        let mut s = Svb::new(2);
+        s.insert(b(1), StreamTag(0));
+        s.insert(b(2), StreamTag(0));
+        s.take(b(1)); // stale FIFO entry for 1 remains
+        // Inserting two more should evict 2 (the oldest *resident*).
+        let e = s.insert(b(3), StreamTag(1));
+        assert_eq!(e, None); // room freed by take
+        let e = s.insert(b(4), StreamTag(1));
+        assert_eq!(e, Some((b(2), StreamTag(0))));
+    }
+
+    #[test]
+    fn flush_tag_removes_only_that_stream() {
+        let mut s = Svb::new(8);
+        s.insert(b(1), StreamTag(0));
+        s.insert(b(2), StreamTag(1));
+        s.insert(b(3), StreamTag(0));
+        let mut flushed = s.flush_tag(StreamTag(0));
+        flushed.sort_by_key(|x| x.get());
+        assert_eq!(flushed, vec![b(1), b(3)]);
+        assert!(s.contains(b(2)));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut s = Svb::new(4);
+        s.insert(b(1), StreamTag(0));
+        s.insert(b(2), StreamTag(1));
+        let drained = s.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(s.is_empty());
+    }
+}

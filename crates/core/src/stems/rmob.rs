@@ -1,0 +1,54 @@
+//! The region miss-order buffer (RMOB).
+//!
+//! STeMS's temporal history (Section 4.1): like TMS's CMOB it is a large
+//! circular buffer of off-chip misses, but spatially predictable misses
+//! are *omitted* — only generation triggers and spatial misses (misses the
+//! spatial predictor did not cover) are appended, which is why 128K
+//! entries suffice where TMS needs 384K. Each entry additionally records
+//! the 16-bit PC of the miss instruction (for the PST lookup during
+//! reconstruction) and the 8-bit reconstruction delta (global misses
+//! skipped since the previous RMOB append).
+
+use stems_types::{BlockAddr, Delta, Pc};
+
+use crate::util::{HasBlock, OrderBuffer};
+
+/// One RMOB record: 5B block address + 16-bit PC + 8-bit delta = 8B in
+/// hardware (Section 4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RmobEntry {
+    /// The miss block address.
+    pub block: BlockAddr,
+    /// PC of the miss instruction (drives the reconstruction-time PST
+    /// lookup).
+    pub pc: Pc,
+    /// Global misses skipped since the previous RMOB entry.
+    pub delta: Delta,
+}
+
+impl HasBlock for RmobEntry {
+    fn block(&self) -> BlockAddr {
+        self.block
+    }
+}
+
+/// The RMOB is an [`OrderBuffer`] of [`RmobEntry`] records.
+pub type Rmob = OrderBuffer<RmobEntry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmob_indexes_by_block() {
+        let mut rmob = Rmob::new(8);
+        let e = RmobEntry {
+            block: BlockAddr::new(42),
+            pc: Pc::new(0x400),
+            delta: Delta::from(3),
+        };
+        let pos = rmob.append(e);
+        assert_eq!(rmob.lookup(BlockAddr::new(42)), Some(pos));
+        assert_eq!(rmob.get(pos), Some(&e));
+    }
+}

@@ -1,0 +1,379 @@
+//! Stream queues: the throttled streaming engine shared by TMS and STeMS.
+//!
+//! Section 4.3: eight stream queues, victimized LRU-by-activity when a new
+//! stream is allocated; per-stream *lookahead* bounds the number of blocks
+//! kept fetched in the SVB ahead of consumption; "to reduce erroneously
+//! fetched blocks due to invalid streams, only a single block is fetched at
+//! the beginning of a new stream" — once that block is consumed, the stream
+//! is confirmed and streams at full lookahead. When a queue's pending
+//! addresses run low, the prefetcher's history source is asked to produce
+//! more (further CMOB entries for TMS, resumed reconstruction for STeMS).
+
+use std::collections::VecDeque;
+
+use stems_types::BlockAddr;
+
+use crate::engine::{PrefetchSink, StreamTag};
+use crate::PrefetchConfig;
+
+/// Refill callback: asked to append up to `n` more predicted addresses
+/// from the stream's history source; returning an empty vector marks the
+/// source exhausted.
+pub type RefillFn<'a, S> = &'a mut dyn FnMut(&mut S, usize) -> Vec<BlockAddr>;
+
+#[derive(Clone, Debug)]
+struct Queue<S> {
+    source: Option<S>,
+    pending: VecDeque<BlockAddr>,
+    inflight: usize,
+    confirmed: bool,
+    exhausted: bool,
+    last_active: u64,
+}
+
+impl<S> Default for Queue<S> {
+    fn default() -> Self {
+        Queue {
+            source: None,
+            pending: VecDeque::new(),
+            inflight: 0,
+            confirmed: false,
+            exhausted: true,
+            last_active: 0,
+        }
+    }
+}
+
+/// The set of stream queues, generic over the history-source state `S`
+/// carried per stream.
+#[derive(Clone, Debug)]
+pub struct StreamQueues<S> {
+    queues: Vec<Queue<S>>,
+    lookahead: usize,
+    refill_threshold: usize,
+    refill_chunk: usize,
+    clock: u64,
+    streams_started: u64,
+}
+
+impl<S> StreamQueues<S> {
+    /// Creates the queues from the prefetcher configuration.
+    pub fn new(cfg: &PrefetchConfig) -> Self {
+        assert!(cfg.stream_queues > 0, "need at least one stream queue");
+        StreamQueues {
+            queues: (0..cfg.stream_queues).map(|_| Queue::default()).collect(),
+            lookahead: cfg.lookahead,
+            refill_threshold: cfg.refill_threshold,
+            refill_chunk: cfg.refill_chunk,
+            clock: 0,
+            streams_started: 0,
+        }
+    }
+
+    /// Total streams ever allocated.
+    pub fn streams_started(&self) -> u64 {
+        self.streams_started
+    }
+
+    /// Number of queues currently holding a live stream.
+    pub fn active_streams(&self) -> usize {
+        self.queues
+            .iter()
+            .filter(|q| q.source.is_some() || !q.pending.is_empty() || q.inflight > 0)
+            .count()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn victim(&self) -> usize {
+        // Prefer a fully idle queue; otherwise LRU by activity.
+        self.queues
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| {
+                let idle = q.source.is_none() && q.pending.is_empty() && q.inflight == 0;
+                (!idle as u64, q.last_active)
+            })
+            .map(|(i, _)| i)
+            .expect("at least one queue")
+    }
+
+    /// Allocates a queue for a new stream with history source `source`,
+    /// flushing the victim queue's unconsumed SVB blocks. Fetches a single
+    /// block (new streams are unconfirmed).
+    pub fn start(
+        &mut self,
+        source: S,
+        sink: &mut dyn PrefetchSink,
+        refill: RefillFn<'_, S>,
+    ) -> StreamTag {
+        let idx = self.victim();
+        let tag = StreamTag(idx as u8);
+        sink.flush_stream(tag);
+        let now = self.tick();
+        self.queues[idx] = Queue {
+            source: Some(source),
+            pending: VecDeque::new(),
+            inflight: 0,
+            confirmed: false,
+            exhausted: false,
+            last_active: now,
+        };
+        self.streams_started += 1;
+        self.pump(tag, sink, refill);
+        tag
+    }
+
+    /// Notification that a block of stream `tag` was consumed from the SVB:
+    /// confirms the stream and streams further blocks up to the lookahead.
+    pub fn on_consumed(
+        &mut self,
+        tag: StreamTag,
+        sink: &mut dyn PrefetchSink,
+        refill: RefillFn<'_, S>,
+    ) {
+        let Some(q) = self.queues.get_mut(tag.0 as usize) else {
+            return;
+        };
+        q.inflight = q.inflight.saturating_sub(1);
+        q.confirmed = true;
+        let now = self.tick();
+        self.queues[tag.0 as usize].last_active = now;
+        self.pump(tag, sink, refill);
+    }
+
+    /// If `block` is among the upcoming pending addresses of a live
+    /// stream, the demand stream caught up with (or slightly overran) the
+    /// prediction: fast-forward that stream past the block, confirm it,
+    /// and pump. Returns the stream's tag, or `None` if no stream had the
+    /// block queued — avoiding the flush-and-restart thrash of
+    /// re-initiating a stream that is already being followed.
+    pub fn catch_up(
+        &mut self,
+        block: BlockAddr,
+        sink: &mut dyn PrefetchSink,
+        refill: RefillFn<'_, S>,
+    ) -> Option<StreamTag> {
+        const SEARCH_DEPTH: usize = 64;
+        let mut found = None;
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(k) = q.pending.iter().take(SEARCH_DEPTH).position(|&b| b == block) {
+                found = Some((i, k));
+                break;
+            }
+        }
+        let (i, k) = found?;
+        let q = &mut self.queues[i];
+        q.pending.drain(..=k);
+        q.confirmed = true;
+        let now = self.tick();
+        self.queues[i].last_active = now;
+        let tag = StreamTag(i as u8);
+        self.pump(tag, sink, refill);
+        Some(tag)
+    }
+
+    /// Notification that a block of stream `tag` left the SVB unconsumed.
+    pub fn on_svb_evicted(&mut self, tag: StreamTag) {
+        if let Some(q) = self.queues.get_mut(tag.0 as usize) {
+            q.inflight = q.inflight.saturating_sub(1);
+        }
+    }
+
+    /// Issues fetches for `tag` until its in-SVB depth reaches the target
+    /// (1 unconfirmed / lookahead confirmed), pulling more addresses from
+    /// the source as pending runs low. Bounded work per call.
+    fn pump(&mut self, tag: StreamTag, sink: &mut dyn PrefetchSink, refill: RefillFn<'_, S>) {
+        let idx = tag.0 as usize;
+        let target = {
+            let q = &self.queues[idx];
+            if q.confirmed {
+                self.lookahead
+            } else {
+                1
+            }
+        };
+        let mut attempts = self.lookahead * 4 + 8;
+        loop {
+            let q = &mut self.queues[idx];
+            if q.inflight >= target || attempts == 0 {
+                break;
+            }
+            if q.pending.is_empty() {
+                if q.exhausted {
+                    break;
+                }
+                let Some(source) = q.source.as_mut() else {
+                    break;
+                };
+                let more = refill(source, self.refill_chunk);
+                if more.is_empty() {
+                    q.exhausted = true;
+                    break;
+                }
+                q.pending.extend(more);
+            }
+            let block = q.pending.pop_front().expect("pending nonempty");
+            attempts -= 1;
+            if sink.fetch_svb(block, tag) {
+                q.inflight += 1;
+            }
+        }
+        // Top up pending so the next consumption can stream immediately.
+        let q = &mut self.queues[idx];
+        if !q.exhausted && q.pending.len() < self.refill_threshold {
+            if let Some(source) = q.source.as_mut() {
+                let more = refill(source, self.refill_chunk);
+                if more.is_empty() {
+                    q.exhausted = true;
+                } else {
+                    q.pending.extend(more);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// A sink that accepts every fetch and records it.
+    #[derive(Default)]
+    struct RecordingSink {
+        fetched: Vec<(BlockAddr, StreamTag)>,
+        flushed: Vec<StreamTag>,
+        resident: HashSet<u64>,
+    }
+
+    impl PrefetchSink for RecordingSink {
+        fn fetch_svb(&mut self, block: BlockAddr, tag: StreamTag) -> bool {
+            if self.resident.contains(&block.get()) {
+                return false;
+            }
+            self.fetched.push((block, tag));
+            true
+        }
+        fn fetch_l1(&mut self, _block: BlockAddr) -> bool {
+            true
+        }
+        fn flush_stream(&mut self, tag: StreamTag) {
+            self.flushed.push(tag);
+        }
+        fn in_l1(&self, _block: BlockAddr) -> bool {
+            false
+        }
+        fn in_l2(&self, _block: BlockAddr) -> bool {
+            false
+        }
+        fn in_svb(&self, _block: BlockAddr) -> bool {
+            false
+        }
+    }
+
+    /// Source producing blocks `start..start+len`.
+    struct Counting {
+        next: u64,
+        end: u64,
+    }
+
+    fn refill(c: &mut Counting, n: usize) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        while c.next < c.end && out.len() < n {
+            out.push(BlockAddr::new(c.next));
+            c.next += 1;
+        }
+        out
+    }
+
+    fn cfg() -> PrefetchConfig {
+        PrefetchConfig {
+            stream_queues: 2,
+            lookahead: 4,
+            refill_threshold: 2,
+            refill_chunk: 4,
+            ..PrefetchConfig::small()
+        }
+    }
+
+    #[test]
+    fn new_stream_fetches_single_block() {
+        let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
+        let mut sink = RecordingSink::default();
+        qs.start(Counting { next: 0, end: 100 }, &mut sink, &mut refill);
+        assert_eq!(sink.fetched.len(), 1);
+        assert_eq!(sink.fetched[0].0, BlockAddr::new(0));
+    }
+
+    #[test]
+    fn confirmation_opens_lookahead() {
+        let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
+        let mut sink = RecordingSink::default();
+        let tag = qs.start(Counting { next: 0, end: 100 }, &mut sink, &mut refill);
+        qs.on_consumed(tag, &mut sink, &mut refill);
+        // After consuming the probe block, the stream fills to lookahead=4.
+        assert_eq!(sink.fetched.len(), 1 + 4);
+    }
+
+    #[test]
+    fn exhausted_source_stops_stream() {
+        let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
+        let mut sink = RecordingSink::default();
+        let tag = qs.start(Counting { next: 0, end: 2 }, &mut sink, &mut refill);
+        qs.on_consumed(tag, &mut sink, &mut refill);
+        qs.on_consumed(tag, &mut sink, &mut refill);
+        qs.on_consumed(tag, &mut sink, &mut refill);
+        assert_eq!(sink.fetched.len(), 2); // only two addresses existed
+    }
+
+    #[test]
+    fn victim_is_lru_and_flushed() {
+        let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
+        let mut sink = RecordingSink::default();
+        let t0 = qs.start(Counting { next: 0, end: 10 }, &mut sink, &mut refill);
+        let t1 = qs.start(Counting { next: 100, end: 110 }, &mut sink, &mut refill);
+        assert_ne!(t0, t1);
+        // Touch t0 so t1 becomes LRU.
+        qs.on_consumed(t0, &mut sink, &mut refill);
+        sink.flushed.clear();
+        let t2 = qs.start(Counting { next: 200, end: 210 }, &mut sink, &mut refill);
+        assert_eq!(t2, t1, "LRU stream should be victimized");
+        assert_eq!(sink.flushed, vec![t1]);
+    }
+
+    #[test]
+    fn refused_fetches_do_not_count_inflight() {
+        let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
+        let mut sink = RecordingSink::default();
+        sink.resident.insert(0); // block 0 already resident -> refused
+        let tag = qs.start(Counting { next: 0, end: 100 }, &mut sink, &mut refill);
+        // Probe skipped block 0 and fetched block 1 instead.
+        assert_eq!(sink.fetched, vec![(BlockAddr::new(1), tag)]);
+    }
+
+    #[test]
+    fn svb_eviction_reduces_inflight_and_allows_refetch() {
+        let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
+        let mut sink = RecordingSink::default();
+        let tag = qs.start(Counting { next: 0, end: 100 }, &mut sink, &mut refill);
+        qs.on_consumed(tag, &mut sink, &mut refill); // inflight = 4
+        qs.on_svb_evicted(tag); // inflight = 3
+        let before = sink.fetched.len();
+        qs.on_consumed(tag, &mut sink, &mut refill); // inflight 2 -> fill to 4
+        assert_eq!(sink.fetched.len(), before + 2);
+    }
+
+    #[test]
+    fn stream_counters() {
+        let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
+        let mut sink = RecordingSink::default();
+        qs.start(Counting { next: 0, end: 10 }, &mut sink, &mut refill);
+        qs.start(Counting { next: 0, end: 10 }, &mut sink, &mut refill);
+        assert_eq!(qs.streams_started(), 2);
+        assert_eq!(qs.active_streams(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! A fixed-capacity true-LRU associative table.
+//!
+//! Backs every finite predictor structure in the paper: the pattern history
+//! table, the pattern sequence table, active generation tables, stride
+//! tables, and stream-queue victim selection. Implemented as an intrusive
+//! doubly-linked list over a slot vector plus a hash index, so `get`,
+//! `insert`, and `remove` are all O(1).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded map that evicts its least-recently-used entry on overflow.
+///
+/// # Example
+///
+/// ```
+/// use stems_core::util::LruTable;
+///
+/// let mut t = LruTable::new(2);
+/// t.insert("a", 1);
+/// t.insert("b", 2);
+/// t.get(&"a"); // refresh "a"
+/// let evicted = t.insert("c", 3).unwrap();
+/// assert_eq!(evicted, ("b", 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruTable<K, V> {
+    slots: Vec<Slot<K, V>>,
+    index: HashMap<K, usize>,
+    free: Vec<usize>,
+    head: usize, // MRU
+    tail: usize, // LRU
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
+    /// Creates a table holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruTable capacity must be nonzero");
+        LruTable {
+            slots: Vec::with_capacity(capacity.min(4096)),
+            index: HashMap::with_capacity(capacity.min(4096)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, refreshing it to most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&mut V> {
+        let &i = self.index.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&mut self.slots[i].value)
+    }
+
+    /// Looks up `key` without changing recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.index.get(key).map(|&i| &self.slots[i].value)
+    }
+
+    /// Whether `key` is resident (no recency update).
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Inserts `key -> value` as most-recently-used.
+    ///
+    /// Returns the evicted LRU entry if the table was full, or the previous
+    /// value under `key` if it was already resident (as `(key, old_value)`).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.index.get(&key) {
+            let old = std::mem::replace(&mut self.slots[i].value, value);
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return Some((key, old));
+        }
+        let mut evicted_key = None;
+        if self.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let k = self.slots[lru].key.clone();
+            self.index.remove(&k);
+            self.free.push(lru);
+            evicted_key = Some(k);
+        }
+        let (i, evicted) = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i];
+                let old_value = std::mem::replace(&mut slot.value, value);
+                slot.key = key.clone();
+                slot.prev = NIL;
+                slot.next = NIL;
+                (i, evicted_key.map(|k| (k, old_value)))
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.slots.len() - 1, None)
+            }
+        };
+        self.index.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        V: Default,
+    {
+        let i = self.index.remove(key)?;
+        self.unlink(i);
+        self.free.push(i);
+        Some(std::mem::take(&mut self.slots[i].value))
+    }
+
+    /// Iterates over `(key, value)` pairs from most- to least-recently-used.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            table: self,
+            cursor: self.head,
+        }
+    }
+
+    /// The least-recently-used key, if any.
+    pub fn lru_key(&self) -> Option<&K> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(&self.slots[self.tail].key)
+        }
+    }
+}
+
+/// Iterator over an [`LruTable`] in recency order (MRU first).
+#[derive(Clone, Debug)]
+pub struct Iter<'a, K, V> {
+    table: &'a LruTable<K, V>,
+    cursor: usize,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = &self.table.slots[self.cursor];
+        self.cursor = slot.next;
+        Some((&slot.key, &slot.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_lru_on_overflow() {
+        let mut t = LruTable::new(2);
+        assert_eq!(t.insert(1, "one"), None);
+        assert_eq!(t.insert(2, "two"), None);
+        assert_eq!(t.insert(3, "three"), Some((1, "one")));
+        assert!(!t.contains(&1));
+        assert!(t.contains(&2) && t.contains(&3));
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut t = LruTable::new(2);
+        t.insert(1, ());
+        t.insert(2, ());
+        t.get(&1);
+        assert_eq!(t.insert(3, ()), Some((2, ())));
+        assert!(t.contains(&1));
+    }
+
+    #[test]
+    fn peek_does_not_refresh() {
+        let mut t = LruTable::new(2);
+        t.insert(1, ());
+        t.insert(2, ());
+        assert!(t.peek(&1).is_some());
+        assert_eq!(t.insert(3, ()), Some((1, ())));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency() {
+        let mut t = LruTable::new(2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert_eq!(t.insert(1, 11), Some((1, 10)));
+        assert_eq!(t.insert(3, 30), Some((2, 20)));
+        assert_eq!(*t.get(&1).unwrap(), 11);
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut t = LruTable::new(2);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert_eq!(t.remove(&1), Some(10));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.insert(3, 30), None);
+        assert_eq!(t.remove(&99), None);
+    }
+
+    #[test]
+    fn iter_is_mru_first() {
+        let mut t = LruTable::new(3);
+        t.insert(1, ());
+        t.insert(2, ());
+        t.insert(3, ());
+        t.get(&1);
+        let keys: Vec<i32> = t.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, [1, 3, 2]);
+        assert_eq!(t.lru_key(), Some(&2));
+    }
+
+    #[test]
+    fn slot_reuse_after_heavy_churn() {
+        let mut t = LruTable::new(4);
+        for i in 0..1000 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 4);
+        for i in 996..1000 {
+            assert_eq!(*t.get(&i).unwrap(), i * 2);
+        }
+        // Backing storage stays bounded by capacity.
+        assert!(t.slots.len() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _: LruTable<u8, u8> = LruTable::new(0);
+    }
+}

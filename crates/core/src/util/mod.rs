@@ -1,0 +1,9 @@
+//! Internal utilities shared by the predictor implementations.
+
+mod lru;
+mod order_buffer;
+mod xorshift;
+
+pub use lru::LruTable;
+pub use order_buffer::{HasBlock, OrderBuffer};
+pub use xorshift::XorShift64;

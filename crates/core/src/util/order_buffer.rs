@@ -1,0 +1,177 @@
+//! A circular history buffer with a most-recent-occurrence index.
+//!
+//! Both temporal history structures are instances of this: TMS's circular
+//! miss-order buffer (CMOB, ~384K entries) and STeMS's region miss-order
+//! buffer (RMOB, 128K entries). Appends overwrite the oldest entry once
+//! full; an index maps a block address to its most recent position so a
+//! miss can locate where to start streaming (Section 2.2, 4.2).
+
+use std::collections::HashMap;
+
+use stems_types::BlockAddr;
+
+/// Types storable in an [`OrderBuffer`]: anything with a block address key.
+pub trait HasBlock {
+    /// The block address this entry is indexed under.
+    fn block(&self) -> BlockAddr;
+}
+
+impl HasBlock for BlockAddr {
+    fn block(&self) -> BlockAddr {
+        *self
+    }
+}
+
+/// A bounded circular append-only buffer of history entries, with O(1)
+/// lookup of the most recent occurrence of a block address.
+///
+/// Positions are *absolute* append counts (monotonically increasing); a
+/// position is readable while it has not been overwritten, i.e. while it is
+/// within `capacity` of the append cursor.
+#[derive(Clone, Debug)]
+pub struct OrderBuffer<T> {
+    ring: Vec<T>,
+    capacity: usize,
+    appended: u64,
+    index: HashMap<BlockAddr, u64>,
+}
+
+impl<T: HasBlock + Clone> OrderBuffer<T> {
+    /// Creates a buffer of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "OrderBuffer capacity must be nonzero");
+        OrderBuffer {
+            ring: Vec::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            appended: 0,
+            index: HashMap::new(),
+        }
+    }
+
+    /// Total entries ever appended (the next entry's position).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Entries currently resident (`min(appended, capacity)`).
+    pub fn len(&self) -> usize {
+        (self.appended as usize).min(self.capacity)
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.appended == 0
+    }
+
+    /// Appends an entry, indexing it as the most recent occurrence of its
+    /// block. Returns the entry's absolute position.
+    pub fn append(&mut self, entry: T) -> u64 {
+        let pos = self.appended;
+        let slot = (pos % self.capacity as u64) as usize;
+        self.index.insert(entry.block(), pos);
+        if slot < self.ring.len() {
+            self.ring[slot] = entry;
+        } else {
+            self.ring.push(entry);
+        }
+        self.appended += 1;
+        pos
+    }
+
+    fn in_window(&self, pos: u64) -> bool {
+        pos < self.appended && self.appended - pos <= self.capacity as u64
+    }
+
+    /// Position of the most recent occurrence of `block`, if it is still
+    /// resident (not overwritten by wraparound).
+    pub fn lookup(&self, block: BlockAddr) -> Option<u64> {
+        let &pos = self.index.get(&block)?;
+        self.in_window(pos).then_some(pos)
+    }
+
+    /// The entry at absolute position `pos`, if still resident.
+    pub fn get(&self, pos: u64) -> Option<&T> {
+        if !self.in_window(pos) {
+            return None;
+        }
+        self.ring.get((pos % self.capacity as u64) as usize)
+    }
+
+    /// Reads up to `n` consecutive entries starting at `pos` (stops at the
+    /// append cursor or the window edge).
+    pub fn read_from(&self, pos: u64, n: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(n);
+        for p in pos..pos.saturating_add(n as u64) {
+            match self.get(p) {
+                Some(e) => out.push(e.clone()),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr::new(n)
+    }
+
+    #[test]
+    fn append_and_lookup_most_recent() {
+        let mut buf: OrderBuffer<BlockAddr> = OrderBuffer::new(8);
+        buf.append(b(1));
+        buf.append(b(2));
+        buf.append(b(1));
+        assert_eq!(buf.lookup(b(1)), Some(2));
+        assert_eq!(buf.lookup(b(2)), Some(1));
+        assert_eq!(buf.lookup(b(9)), None);
+    }
+
+    #[test]
+    fn wraparound_invalidates_stale_index() {
+        let mut buf: OrderBuffer<BlockAddr> = OrderBuffer::new(4);
+        buf.append(b(1)); // pos 0
+        for i in 2..=5 {
+            buf.append(b(i)); // positions 1..=4; pos 0 overwritten
+        }
+        assert_eq!(buf.lookup(b(1)), None);
+        assert_eq!(buf.get(0), None);
+        assert_eq!(buf.lookup(b(5)), Some(4));
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn read_from_stops_at_cursor() {
+        let mut buf: OrderBuffer<BlockAddr> = OrderBuffer::new(8);
+        for i in 0..5 {
+            buf.append(b(i));
+        }
+        let v = buf.read_from(3, 10);
+        assert_eq!(v, vec![b(3), b(4)]);
+        assert!(buf.read_from(5, 4).is_empty());
+    }
+
+    #[test]
+    fn read_from_respects_window_edge() {
+        let mut buf: OrderBuffer<BlockAddr> = OrderBuffer::new(4);
+        for i in 0..10 {
+            buf.append(b(i));
+        }
+        // Window holds positions 6..=9.
+        assert!(buf.read_from(2, 3).is_empty());
+        assert_eq!(buf.read_from(6, 2), vec![b(6), b(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _: OrderBuffer<BlockAddr> = OrderBuffer::new(0);
+    }
+}

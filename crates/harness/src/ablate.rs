@@ -1,0 +1,205 @@
+//! Ablation studies over STeMS's design parameters (DESIGN.md §4).
+//!
+//! The paper fixes one hardware point (Section 4.3); these sweeps show
+//! *why* that point was chosen by varying one knob at a time on an OLTP
+//! workload (temporal+spatial mix) and a DSS workload (compulsory scans):
+//!
+//! * **lookahead** — timeliness vs overfetch at stream ends;
+//! * **stream queues** — thrash when concurrent streams contend;
+//! * **SVB capacity** — how long predictions survive until consumption;
+//! * **reconstruction window and ±search** — placement success vs drops;
+//! * **spatial-only streams** — the only source of compulsory coverage.
+
+use stems_core::engine::{CoverageSim, Counters, NullPrefetcher};
+use stems_core::{PrefetchConfig, StemsPrefetcher};
+use stems_trace::Trace;
+use stems_workloads::Workload;
+
+use crate::render::{pct, Table};
+use crate::runner::{prefetch_config, system_config, Settings};
+
+fn run_stems(
+    workload: Workload,
+    cfg: &PrefetchConfig,
+    trace: &Trace,
+    settings: Settings,
+) -> (Counters, stems_core::stems::ReconStats) {
+    let sys = system_config(settings.scale);
+    let mut sim = CoverageSim::new(&sys, cfg, StemsPrefetcher::new(cfg))
+        .with_invalidations(workload.invalidation_rate(), 7);
+    let counters = sim.run(trace);
+    (counters, sim.prefetcher().recon_stats())
+}
+
+fn baseline(workload: Workload, trace: &Trace, settings: Settings) -> u64 {
+    let sys = system_config(settings.scale);
+    CoverageSim::new(&sys, &prefetch_config(workload), NullPrefetcher)
+        .with_invalidations(workload.invalidation_rate(), 7)
+        .run(trace)
+        .uncovered
+}
+
+/// Runs every ablation sweep and renders the tables.
+pub fn ablations(settings: Settings) -> String {
+    let mut out = String::new();
+    for workload in [Workload::Db2, Workload::Qry2] {
+        let trace = workload.generate_scaled(settings.scale, settings.seed);
+        let base = baseline(workload, &trace, settings);
+        let stock = prefetch_config(workload);
+
+        let mut t = Table::new(
+            &format!("Ablation: stream lookahead ({workload})"),
+            &["lookahead", "coverage", "overprediction"],
+        );
+        for lookahead in [2usize, 4, 8, 16] {
+            let cfg = PrefetchConfig {
+                lookahead,
+                ..stock.clone()
+            };
+            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+            t.row(vec![
+                lookahead.to_string(),
+                pct(c.coverage_vs(base)),
+                pct(c.overprediction_vs(base)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let mut t = Table::new(
+            &format!("Ablation: stream queues ({workload})"),
+            &["queues", "coverage", "overprediction"],
+        );
+        for queues in [1usize, 2, 8, 16] {
+            let cfg = PrefetchConfig {
+                stream_queues: queues,
+                ..stock.clone()
+            };
+            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+            t.row(vec![
+                queues.to_string(),
+                pct(c.coverage_vs(base)),
+                pct(c.overprediction_vs(base)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let mut t = Table::new(
+            &format!("Ablation: SVB entries ({workload})"),
+            &["svb", "coverage", "overprediction"],
+        );
+        for svb in [16usize, 64, 256] {
+            let cfg = PrefetchConfig {
+                svb_entries: svb,
+                ..stock.clone()
+            };
+            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+            t.row(vec![
+                svb.to_string(),
+                pct(c.coverage_vs(base)),
+                pct(c.overprediction_vs(base)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let mut t = Table::new(
+            &format!("Ablation: reconstruction window / search ({workload})"),
+            &["window", "search", "coverage", "exact placed", "placed <=|s|"],
+        );
+        for (window, search) in [(64usize, 2usize), (256, 0), (256, 2), (256, 4), (1024, 2)] {
+            let cfg = PrefetchConfig {
+                recon_entries: window,
+                recon_search: search,
+                ..stock.clone()
+            };
+            let (c, stats) = run_stems(workload, &cfg, &trace, settings);
+            t.row(vec![
+                window.to_string(),
+                search.to_string(),
+                pct(c.coverage_vs(base)),
+                pct(stats.exact_fraction()),
+                pct(stats.placed_fraction()),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+
+        let mut t = Table::new(
+            &format!("Ablation: spatial-only streams ({workload})"),
+            &["spatial-only", "coverage", "overprediction"],
+        );
+        for enabled in [true, false] {
+            let cfg = PrefetchConfig {
+                spatial_only_streams: enabled,
+                ..stock.clone()
+            };
+            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+            t.row(vec![
+                if enabled { "on" } else { "off" }.to_string(),
+                pct(c.coverage_vs(base)),
+                pct(c.overprediction_vs(base)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out.push_str(
+        "spatial-only streams are the only source of compulsory coverage: turning them \
+         off should collapse DSS coverage while barely moving OLTP's temporal part.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_only_ablation_collapses_dss_coverage() {
+        let settings = Settings {
+            scale: 0.03,
+            seed: 5,
+        };
+        let w = Workload::Qry2;
+        let trace = w.generate_scaled(settings.scale, settings.seed);
+        let base = baseline(w, &trace, settings);
+        let stock = prefetch_config(w);
+        let (on, _) = run_stems(w, &stock, &trace, settings);
+        let off_cfg = PrefetchConfig {
+            spatial_only_streams: false,
+            ..stock
+        };
+        let (off, _) = run_stems(w, &off_cfg, &trace, settings);
+        assert!(
+            off.coverage_vs(base) < 0.5 * on.coverage_vs(base),
+            "DSS coverage must come from spatial-only streams: on {:.2} off {:.2}",
+            on.coverage_vs(base),
+            off.coverage_vs(base)
+        );
+    }
+
+    #[test]
+    fn zero_search_hurts_placement() {
+        let settings = Settings {
+            scale: 0.03,
+            seed: 5,
+        };
+        let w = Workload::Db2;
+        let trace = w.generate_scaled(settings.scale, settings.seed);
+        let stock = prefetch_config(w);
+        let (_, with_search) = run_stems(w, &stock, &trace, settings);
+        let cfg0 = PrefetchConfig {
+            recon_search: 0,
+            ..stock
+        };
+        let (_, no_search) = run_stems(w, &cfg0, &trace, settings);
+        assert!(
+            with_search.placed_fraction() > no_search.placed_fraction(),
+            "±2 search must place more addresses: {:.2} vs {:.2}",
+            with_search.placed_fraction(),
+            no_search.placed_fraction()
+        );
+    }
+}

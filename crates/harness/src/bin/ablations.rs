@@ -1,0 +1,6 @@
+//! Runs the STeMS design-parameter ablation sweeps (DESIGN.md §4).
+
+fn main() {
+    let settings = stems_harness::Settings::from_env();
+    println!("{}", stems_harness::ablate::ablations(settings));
+}

@@ -1,0 +1,22 @@
+//! Runs the complete evaluation: every table and figure in order.
+
+use stems_harness::{figs, Settings};
+
+fn main() {
+    let settings = Settings::from_env();
+    eprintln!("running full evaluation at scale {} (seed {})", settings.scale, settings.seed);
+    for (name, f) in [
+        ("table1", figs::table1 as fn(Settings) -> String),
+        ("fig6", figs::fig6),
+        ("fig7", figs::fig7),
+        ("fig8", figs::fig8),
+        ("fig9", figs::fig9),
+        ("fig10", figs::fig10),
+        ("naive_hybrid", figs::naive_hybrid),
+        ("recon_stats", figs::recon_stats),
+        ("ablations", stems_harness::ablate::ablations),
+    ] {
+        eprintln!("... {name}");
+        println!("{}", f(settings));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig10 of the evaluation (see DESIGN.md §4).
+
+fn main() {
+    let settings = stems_harness::Settings::from_env();
+    println!("{}", stems_harness::figs::fig10(settings));
+}

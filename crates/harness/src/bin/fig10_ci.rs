@@ -1,0 +1,17 @@
+//! Figure 10 with 95% confidence intervals over multiple workload seeds
+//! (`--seeds <n>`, default 3).
+
+fn main() {
+    let settings = stems_harness::Settings::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "{}",
+        stems_harness::stats::fig10_with_confidence(settings, seeds)
+    );
+}

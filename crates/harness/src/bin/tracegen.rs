@@ -1,0 +1,75 @@
+//! Trace capture utility: generates a workload trace and writes it in the
+//! binary trace format, or prints statistics of an existing trace file.
+//!
+//! ```sh
+//! tracegen capture db2 /tmp/db2.trace --scale 0.1 --seed 7
+//! tracegen info /tmp/db2.trace
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use stems_trace::{read_trace, write_trace};
+use stems_workloads::Workload;
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    Workload::all()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("capture") if args.len() >= 3 => {
+            let Some(workload) = workload_by_name(&args[1]) else {
+                eprintln!(
+                    "unknown workload {:?}; expected one of {}",
+                    args[1],
+                    Workload::all().map(|w| w.name()).join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            let settings = stems_harness::Settings::from_args(args[3..].iter().cloned());
+            let trace = workload.generate_scaled(settings.scale, settings.seed);
+            let file = match File::create(&args[2]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {}: {e}", args[2]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = write_trace(BufWriter::new(file), &trace) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{}: {}", args[2], trace.stats());
+            ExitCode::SUCCESS
+        }
+        Some("info") if args.len() >= 2 => {
+            let file = match File::open(&args[1]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match read_trace(BufReader::new(file)) {
+                Ok(trace) => {
+                    println!("{}: {}", args[1], trace.stats());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("not a valid trace: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: tracegen capture <workload> <file> [--scale f] [--seed n]");
+            eprintln!("       tracegen info <file>");
+            ExitCode::FAILURE
+        }
+    }
+}

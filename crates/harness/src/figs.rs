@@ -1,0 +1,399 @@
+//! One module per reproduced table/figure; each returns rendered text.
+
+use crate::render::{pct, pct_signed, Table};
+use crate::runner::{per_workload, prefetch_config, run_coverage, run_timing, system_config, Predictor, Settings};
+
+use stems_analysis::{
+    classify, correlation_distance, filter_trace, joint_analysis, JointBreakdown,
+};
+use stems_core::engine::CoverageSim;
+use stems_core::stems::ReconStats;
+use stems_core::StemsPrefetcher;
+use stems_memsim::SystemConfig;
+use stems_workloads::Workload;
+
+/// Table 1: system and predictor parameters.
+pub fn table1(_settings: Settings) -> String {
+    let sys = SystemConfig::default();
+    let mut t = Table::new("Table 1: system parameters", &["parameter", "value"]);
+    let mut kv = |k: &str, v: String| {
+        t.row(vec![k.to_string(), v]);
+    };
+    kv("clock", format!("{} GHz", sys.clock_ghz));
+    kv("pipeline", format!("{}-wide, {}-entry ROB", sys.width, sys.rob_entries));
+    kv(
+        "L1d",
+        format!(
+            "{}KB {}-way, 64B blocks, {}-cycle, {} MSHRs",
+            sys.l1.size_bytes / 1024,
+            sys.l1.associativity,
+            sys.l1_latency,
+            sys.mshrs
+        ),
+    );
+    kv(
+        "L2",
+        format!(
+            "{}MB {}-way, {}-cycle",
+            sys.l2.size_bytes / (1024 * 1024),
+            sys.l2.associativity,
+            sys.l2_latency
+        ),
+    );
+    kv("memory", format!("{} ns", sys.mem_latency_ns));
+    kv(
+        "interconnect",
+        format!("4x4 2D torus, {} ns/hop", sys.hop_latency_ns),
+    );
+    kv("nodes", format!("{}", sys.nodes));
+    let commercial = prefetch_config(Workload::Db2);
+    let scientific = prefetch_config(Workload::Em3d);
+    kv(
+        "stream queues / SVB",
+        format!("{} / {}", commercial.stream_queues, commercial.svb_entries),
+    );
+    kv(
+        "lookahead",
+        format!("{} commercial / {} scientific", commercial.lookahead, scientific.lookahead),
+    );
+    kv("AGT / PHT / PST", format!(
+        "{} / {} / {} entries",
+        commercial.agt_entries, commercial.pht_entries, commercial.pst_entries
+    ));
+    kv(
+        "CMOB / RMOB",
+        format!("{}K / {}K entries", commercial.cmob_entries / 1024, commercial.rmob_entries / 1024),
+    );
+    kv(
+        "reconstruction",
+        format!("{} slots, +-{} search", commercial.recon_entries, commercial.recon_search),
+    );
+    let mut out = t.render();
+    out.push('\n');
+    let mut apps = Table::new(
+        "Table 1: applications",
+        &["workload", "category", "lookahead", "inval rate"],
+    );
+    for w in Workload::all() {
+        apps.row(vec![
+            w.name().to_string(),
+            w.category().to_string(),
+            prefetch_config(w).lookahead.to_string(),
+            format!("{:.0e}", w.invalidation_rate()),
+        ]);
+    }
+    out.push_str(&apps.render());
+    out
+}
+
+/// Figure 6: joint TMS/SMS predictability of off-chip read misses.
+pub fn fig6(settings: Settings) -> String {
+    let sys = system_config(settings.scale);
+    let results = per_workload(settings, |_, trace| {
+        let misses = filter_trace(&trace, &sys).misses;
+        joint_analysis(&misses)
+    });
+    let mut t = Table::new(
+        "Figure 6: joint predictability of off-chip read misses",
+        &["workload", "both", "TMS only", "SMS only", "neither", "temporal", "spatial", "joint"],
+    );
+    let mut sums = (0.0, 0.0, 0.0);
+    for (w, j) in &results {
+        let (b, tms, sms, n) = j.fractions();
+        t.row(vec![
+            w.name().to_string(),
+            pct(b),
+            pct(tms),
+            pct(sms),
+            pct(n),
+            pct(j.temporal_fraction()),
+            pct(j.spatial_fraction()),
+            pct(j.joint_fraction()),
+        ]);
+        sums.0 += j.temporal_fraction();
+        sums.1 += j.spatial_fraction();
+        sums.2 += j.joint_fraction();
+    }
+    let n = results.len() as f64;
+    t.row(vec![
+        "average".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        pct(sums.0 / n),
+        pct(sums.1 / n),
+        pct(sums.2 / n),
+    ]);
+    format!(
+        "{}\npaper: average temporal 32%, spatial 54%, joint 70%; OLTP/web have all four classes \
+         significant with 34-38% neither; DSS is spatial-dominated; scientific high on both.\n",
+        t.render()
+    )
+}
+
+/// The per-workload joint breakdowns behind Figure 6 (for tests).
+pub fn fig6_data(settings: Settings) -> Vec<(Workload, JointBreakdown)> {
+    let sys = system_config(settings.scale);
+    per_workload(settings, |_, trace| {
+        joint_analysis(&filter_trace(&trace, &sys).misses)
+    })
+}
+
+/// Figure 7: Sequitur repetition of all misses vs spatial triggers.
+pub fn fig7(settings: Settings) -> String {
+    let sys = system_config(settings.scale);
+    let results = per_workload(settings, |_, trace| {
+        let out = filter_trace(&trace, &sys);
+        let all: Vec<u64> = out.misses.iter().map(|m| m.block.get()).collect();
+        let triggers: Vec<u64> = out
+            .misses
+            .iter()
+            .filter(|m| m.trigger)
+            .map(|m| m.block.get())
+            .collect();
+        (classify(all), classify(triggers))
+    });
+    let mut t = Table::new(
+        "Figure 7: temporal repetition (Sequitur) of misses and triggers",
+        &["workload", "series", "opportunity", "head", "new", "non-rep"],
+    );
+    for (w, (all, trig)) in &results {
+        for (label, b) in [("All_Addrs", all), ("Triggers", trig)] {
+            let (o, h, n, x) = b.fractions();
+            t.row(vec![
+                w.name().to_string(),
+                label.to_string(),
+                pct(o),
+                pct(h),
+                pct(n),
+                pct(x),
+            ]);
+        }
+    }
+    format!(
+        "{}\npaper: ~45% opportunity over all misses vs ~47% at region granularity; triggers \
+         5-15% lower in OLTP/web, higher in DSS; heads form a larger share of triggers.\n",
+        t.render()
+    )
+}
+
+/// Figure 8: correlation distance within spatial generations.
+pub fn fig8(settings: Settings) -> String {
+    let sys = system_config(settings.scale);
+    let results = per_workload(settings, |_, trace| {
+        correlation_distance(&filter_trace(&trace, &sys).generations)
+    });
+    let mut t = Table::new(
+        "Figure 8: correlation distance within generations (cumulative)",
+        &["workload", "+1 exact", "|d|<=2", "|d|<=4", "|d|<=6", "pairs", "unstable"],
+    );
+    for (w, h) in &results {
+        let exact = if h.comparable() == 0 {
+            0.0
+        } else {
+            h.at(1) as f64 / h.comparable() as f64
+        };
+        let unstable = if h.total() == 0 {
+            0.0
+        } else {
+            h.not_found as f64 / h.total() as f64
+        };
+        t.row(vec![
+            w.name().to_string(),
+            pct(exact),
+            pct(h.within_window(2)),
+            pct(h.within_window(4)),
+            pct(h.within_window(6)),
+            h.comparable().to_string(),
+            pct(unstable),
+        ]);
+    }
+    format!(
+        "{}\npaper: >=86% within a reordering window of two and >=92% within four \
+         (96%/92% excluding Qry16).\n",
+        t.render()
+    )
+}
+
+/// Per-predictor coverage numbers for one workload (Figure 9 row).
+#[derive(Clone, Copy, Debug)]
+pub struct CoverageRow {
+    /// Baseline off-chip read misses (no prefetcher).
+    pub baseline: u64,
+    /// (covered fraction, overprediction fraction) per predictor in
+    /// [`Predictor::STREAMING`] order.
+    pub series: [(f64, f64); 3],
+}
+
+/// The data behind Figure 9.
+pub fn fig9_data(settings: Settings) -> Vec<(Workload, CoverageRow)> {
+    let sys = system_config(settings.scale);
+    per_workload(settings, |w, trace| {
+        let base = run_coverage(w, Predictor::None, &trace, &sys).uncovered;
+        let mut series = [(0.0, 0.0); 3];
+        for (i, p) in Predictor::STREAMING.iter().enumerate() {
+            let c = run_coverage(w, *p, &trace, &sys);
+            series[i] = (c.coverage_vs(base), c.overprediction_vs(base));
+        }
+        CoverageRow {
+            baseline: base,
+            series,
+        }
+    })
+}
+
+/// Figure 9: covered / uncovered / overpredicted per predictor.
+pub fn fig9(settings: Settings) -> String {
+    let results = fig9_data(settings);
+    let mut t = Table::new(
+        "Figure 9: coverage and overprediction (fractions of baseline off-chip read misses)",
+        &[
+            "workload", "baseline", "TMS cov", "TMS over", "SMS cov", "SMS over", "STeMS cov",
+            "STeMS over",
+        ],
+    );
+    for (w, row) in &results {
+        t.row(vec![
+            w.name().to_string(),
+            row.baseline.to_string(),
+            pct(row.series[0].0),
+            pct(row.series[0].1),
+            pct(row.series[1].0),
+            pct(row.series[1].1),
+            pct(row.series[2].0),
+            pct(row.series[2].1),
+        ]);
+    }
+    format!(
+        "{}\npaper: STeMS covers ~8% more than the best underlying predictor in OLTP/web \
+         (50-56%), matches SMS in DSS, lands between SMS and TMS on scientific; STeMS predicts \
+         62% of misses and mispredicts 29% on average.\n",
+        t.render()
+    )
+}
+
+/// The data behind Figure 10: improvement % over the stride baseline per
+/// predictor in [`Predictor::STREAMING`] order.
+pub fn fig10_data(settings: Settings) -> Vec<(Workload, [f64; 3])> {
+    let sys = system_config(settings.scale);
+    per_workload(settings, |w, trace| {
+        let base = run_timing(w, Predictor::Stride, &trace, &sys);
+        let mut out = [0.0; 3];
+        for (i, p) in Predictor::STREAMING.iter().enumerate() {
+            let r = run_timing(w, *p, &trace, &sys);
+            out[i] = r.improvement_percent_over(&base);
+        }
+        out
+    })
+}
+
+/// Figure 10: speedup over the stride baseline.
+pub fn fig10(settings: Settings) -> String {
+    let results = fig10_data(settings);
+    let mut t = Table::new(
+        "Figure 10: performance improvement over the stride baseline",
+        &["workload", "TMS", "SMS", "STeMS"],
+    );
+    let mut means = [0.0f64; 3];
+    for (w, imps) in &results {
+        t.row(vec![
+            w.name().to_string(),
+            pct_signed(imps[0]),
+            pct_signed(imps[1]),
+            pct_signed(imps[2]),
+        ]);
+        for i in 0..3 {
+            means[i] += (1.0 + imps[i] / 100.0).ln();
+        }
+    }
+    let n = results.len() as f64;
+    t.row(vec![
+        "geomean".to_string(),
+        pct_signed(((means[0] / n).exp() - 1.0) * 100.0),
+        pct_signed(((means[1] / n).exp() - 1.0) * 100.0),
+        pct_signed(((means[2] / n).exp() - 1.0) * 100.0),
+    ]);
+    format!(
+        "{}\npaper: STeMS ~31% over baseline on commercial workloads (18%/3% over TMS/SMS); \
+         TMS ~4x on em3d/sparse; SMS speedup small on OLTP despite coverage.\n",
+        t.render()
+    )
+}
+
+/// Section 5.5: the naive TMS+SMS hybrid's overpredictions vs STeMS.
+pub fn naive_hybrid(settings: Settings) -> String {
+    let sys = system_config(settings.scale);
+    let results = per_workload(settings, |w, trace| {
+        let base = run_coverage(w, Predictor::None, &trace, &sys).uncovered;
+        let naive = run_coverage(w, Predictor::Naive, &trace, &sys);
+        let stems = run_coverage(w, Predictor::Stems, &trace, &sys);
+        (base, naive, stems)
+    });
+    let mut t = Table::new(
+        "Section 5.5: naive TMS+SMS hybrid vs STeMS",
+        &[
+            "workload", "naive cov", "naive over", "STeMS cov", "STeMS over", "over ratio",
+        ],
+    );
+    for (w, (base, naive, stems)) in &results {
+        let ratio = if stems.overpredictions == 0 {
+            f64::NAN
+        } else {
+            naive.overpredictions as f64 / stems.overpredictions as f64
+        };
+        t.row(vec![
+            w.name().to_string(),
+            pct(naive.coverage_vs(*base)),
+            pct(naive.overprediction_vs(*base)),
+            pct(stems.coverage_vs(*base)),
+            pct(stems.overprediction_vs(*base)),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    format!(
+        "{}\npaper: the side-by-side combination approaches joint coverage but generates \
+         roughly 2-3x the overpredictions of STeMS in OLTP and web.\n",
+        t.render()
+    )
+}
+
+/// Section 4.3: reconstruction placement accuracy.
+pub fn recon_stats(settings: Settings) -> String {
+    let results = per_workload(settings, |w, trace| {
+        let cfg = prefetch_config(w);
+        let mut sim = CoverageSim::new(
+            &system_config(settings.scale),
+            &cfg,
+            StemsPrefetcher::new(&cfg),
+        )
+        .with_invalidations(w.invalidation_rate(), 7);
+        sim.run(&trace);
+        sim.prefetcher().recon_stats()
+    });
+    let mut t = Table::new(
+        "Section 4.3: reconstruction placement accuracy",
+        &["workload", "exact", "within +-2", "attempts"],
+    );
+    let mut total = ReconStats::default();
+    for (w, s) in &results {
+        total.merge(s);
+        t.row(vec![
+            w.name().to_string(),
+            pct(s.exact_fraction()),
+            pct(s.placed_fraction()),
+            s.attempts().to_string(),
+        ]);
+    }
+    t.row(vec![
+        "all".to_string(),
+        pct(total.exact_fraction()),
+        pct(total.placed_fraction()),
+        total.attempts().to_string(),
+    ]);
+    format!(
+        "{}\npaper: searching at most two elements forward or backward places 99% of \
+         addresses, 92% in their original location.\n",
+        t.render()
+    )
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! Each figure has a binary (`cargo run --release -p stems-harness --bin
+//! fig9`) accepting `--scale <f>` (footprint scale, default 1.0) and
+//! `--seed <n>`; `--bin all` runs the complete evaluation.
+
+pub mod ablate;
+pub mod figs;
+pub mod render;
+pub mod runner;
+pub mod stats;
+
+pub use render::{pct, pct_signed, Table};
+pub use runner::{
+    per_workload, prefetch_config, run_coverage, run_timing, Predictor, Settings,
+};

@@ -1,0 +1,103 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a signed percentage (speedups).
+pub fn pct_signed(x: f64) -> String {
+    format!("{:+.1}%", x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "10000".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("x", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.3149), "31.5%");
+        assert_eq!(pct_signed(31.0), "+31.0%");
+        assert_eq!(pct_signed(-2.5), "-2.5%");
+    }
+}

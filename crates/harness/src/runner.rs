@@ -1,0 +1,248 @@
+//! Experiment plumbing: predictor dispatch and per-workload runs.
+
+use stems_core::engine::{Counters, CoverageSim, NullPrefetcher};
+use stems_core::{
+    NaiveHybrid, PrefetchConfig, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher,
+};
+use stems_memsim::SystemConfig;
+use stems_timing::{time_trace, TimingParams, TimingReport};
+use stems_trace::Trace;
+use stems_workloads::Workload;
+
+/// The predictors under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Predictor {
+    /// No prefetching (baseline miss counting).
+    None,
+    /// The baseline system's stride prefetcher.
+    Stride,
+    /// Temporal Memory Streaming.
+    Tms,
+    /// Spatial Memory Streaming.
+    Sms,
+    /// Spatio-Temporal Memory Streaming.
+    Stems,
+    /// TMS and SMS side by side (Section 5.5 strawman).
+    Naive,
+}
+
+impl Predictor {
+    /// The three streaming predictors compared in Figures 9 and 10.
+    pub const STREAMING: [Predictor; 3] = [Predictor::Tms, Predictor::Sms, Predictor::Stems];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Predictor::None => "none",
+            Predictor::Stride => "stride",
+            Predictor::Tms => "TMS",
+            Predictor::Sms => "SMS",
+            Predictor::Stems => "STeMS",
+            Predictor::Naive => "TMS+SMS",
+        }
+    }
+}
+
+/// Scale/seed settings shared by every experiment (parsed from argv).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Settings {
+    /// Footprint scale (1.0 = evaluation size).
+    pub scale: f64,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            scale: 1.0,
+            seed: 2009,
+        }
+    }
+}
+
+impl Settings {
+    /// Parses `--scale <f>` and `--seed <n>` from an argument list;
+    /// unknown arguments are ignored.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut s = Settings::default();
+        let args: Vec<String> = args.into_iter().collect();
+        for i in 0..args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        s.scale = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        s.seed = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Settings::from_args(std::env::args().skip(1))
+    }
+}
+
+/// The system configuration for an experiment scale: the L2 shrinks with
+/// the workload footprints so the footprint-to-cache ratio — which decides
+/// whether repeated traversals still miss off chip — matches the paper's
+/// 8MB L2 against its full-size working sets.
+pub fn system_config(scale: f64) -> SystemConfig {
+    let mut sys = SystemConfig::default();
+    if scale < 1.0 {
+        let target = (sys.l2.size_bytes as f64 * scale) as u64;
+        let mut size = sys.l2.size_bytes;
+        while size / 2 >= target.max(64 * 1024) {
+            size /= 2;
+        }
+        sys.l2.size_bytes = size;
+        // Keep the L1 no larger than half the L2.
+        while sys.l1.size_bytes * 2 > sys.l2.size_bytes {
+            sys.l1.size_bytes /= 2;
+        }
+    }
+    sys
+}
+
+/// The prefetcher configuration a workload uses (Section 4.3: lookahead 8
+/// commercial / 12 scientific).
+pub fn prefetch_config(workload: Workload) -> PrefetchConfig {
+    if workload.is_scientific() {
+        PrefetchConfig::scientific()
+    } else {
+        PrefetchConfig::commercial()
+    }
+}
+
+/// Runs `predictor` over `trace` and returns the coverage counters, with
+/// the workload's coherence-invalidation injection enabled.
+pub fn run_coverage(
+    workload: Workload,
+    predictor: Predictor,
+    trace: &Trace,
+    sys: &SystemConfig,
+) -> Counters {
+    let cfg = prefetch_config(workload);
+    let rate = workload.invalidation_rate();
+    let seed = 0xC0FFEE ^ workload.name().len() as u64;
+    match predictor {
+        Predictor::None => CoverageSim::new(sys, &cfg, NullPrefetcher)
+            .with_invalidations(rate, seed)
+            .run(trace),
+        Predictor::Stride => CoverageSim::new(sys, &cfg, StridePrefetcher::new(&cfg))
+            .with_invalidations(rate, seed)
+            .run(trace),
+        Predictor::Tms => CoverageSim::new(sys, &cfg, TmsPrefetcher::new(&cfg))
+            .with_invalidations(rate, seed)
+            .run(trace),
+        Predictor::Sms => CoverageSim::new(sys, &cfg, SmsPrefetcher::new(&cfg))
+            .with_invalidations(rate, seed)
+            .run(trace),
+        Predictor::Stems => CoverageSim::new(sys, &cfg, StemsPrefetcher::new(&cfg))
+            .with_invalidations(rate, seed)
+            .run(trace),
+        Predictor::Naive => CoverageSim::new(sys, &cfg, NaiveHybrid::new(&cfg))
+            .with_invalidations(rate, seed)
+            .run(trace),
+    }
+}
+
+/// Runs `predictor` over `trace` with timing and returns the report.
+pub fn run_timing(
+    workload: Workload,
+    predictor: Predictor,
+    trace: &Trace,
+    sys: &SystemConfig,
+) -> TimingReport {
+    let cfg = prefetch_config(workload);
+    let params = TimingParams::from_system(sys);
+    let inval = Some((
+        workload.invalidation_rate(),
+        0xC0FFEE ^ workload.name().len() as u64,
+    ));
+    match predictor {
+        Predictor::None => time_trace(sys, &cfg, &params, NullPrefetcher, trace, inval),
+        Predictor::Stride => {
+            time_trace(sys, &cfg, &params, StridePrefetcher::new(&cfg), trace, inval)
+        }
+        Predictor::Tms => time_trace(sys, &cfg, &params, TmsPrefetcher::new(&cfg), trace, inval),
+        Predictor::Sms => time_trace(sys, &cfg, &params, SmsPrefetcher::new(&cfg), trace, inval),
+        Predictor::Stems => {
+            time_trace(sys, &cfg, &params, StemsPrefetcher::new(&cfg), trace, inval)
+        }
+        Predictor::Naive => time_trace(sys, &cfg, &params, NaiveHybrid::new(&cfg), trace, inval),
+    }
+}
+
+/// Runs `f` for every workload in parallel, preserving order.
+pub fn per_workload<T: Send>(
+    settings: Settings,
+    f: impl Fn(Workload, Trace) -> T + Sync,
+) -> Vec<(Workload, T)> {
+    let workloads = Workload::all();
+    let mut out: Vec<Option<(Workload, T)>> = Vec::new();
+    for _ in 0..workloads.len() {
+        out.push(None);
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::new();
+        for (i, w) in workloads.into_iter().enumerate() {
+            handles.push((
+                i,
+                scope.spawn(move || {
+                    let trace = w.generate_scaled(settings.scale, settings.seed);
+                    (w, f(w, trace))
+                }),
+            ));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("workload thread panicked"));
+        }
+    });
+    out.into_iter().map(|x| x.expect("filled above")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_parse() {
+        let s = Settings::from_args(
+            ["--scale", "0.25", "--seed", "7", "--junk"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(s.scale, 0.25);
+        assert_eq!(s.seed, 7);
+        let d = Settings::from_args(std::iter::empty());
+        assert_eq!(d, Settings::default());
+    }
+
+    #[test]
+    fn config_selection_follows_category() {
+        assert_eq!(prefetch_config(Workload::Em3d).lookahead, 12);
+        assert_eq!(prefetch_config(Workload::Db2).lookahead, 8);
+    }
+
+    #[test]
+    fn per_workload_runs_all_in_order() {
+        let settings = Settings {
+            scale: 0.002,
+            seed: 1,
+        };
+        let results = per_workload(settings, |_, trace| trace.len());
+        assert_eq!(results.len(), 10);
+        assert_eq!(results[0].0, Workload::Apache);
+        assert!(results.iter().all(|(_, len)| *len > 0));
+    }
+}

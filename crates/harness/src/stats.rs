@@ -1,0 +1,99 @@
+//! Multi-seed statistics: the paper reports 95% confidence intervals from
+//! SimFlex statistical sampling (Figure 10's error bars). Our equivalent
+//! is running each experiment across independent workload seeds and
+//! reporting the sample mean with a normal-approximation 95% interval.
+
+use crate::render::Table;
+use crate::runner::{run_timing, system_config, Predictor, Settings};
+use stems_workloads::Workload;
+
+/// Mean and 95% confidence half-width of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (1.96 standard errors).
+    pub ci95: f64,
+}
+
+/// Computes the sample mean and 95% CI half-width.
+///
+/// Returns zeroed statistics for samples with fewer than two points
+/// (no variance estimate exists).
+pub fn mean_ci(samples: &[f64]) -> MeanCi {
+    if samples.is_empty() {
+        return MeanCi::default();
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return MeanCi { mean, ci95: 0.0 };
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    MeanCi {
+        mean,
+        ci95: 1.96 * (var / n).sqrt(),
+    }
+}
+
+/// Figure 10 with error bars: improvement over the stride baseline per
+/// predictor, across `seeds` independent workload instances.
+pub fn fig10_with_confidence(settings: Settings, seeds: usize) -> String {
+    let sys = system_config(settings.scale);
+    let mut t = Table::new(
+        &format!("Figure 10 with 95% confidence intervals ({seeds} seeds)"),
+        &["workload", "TMS", "SMS", "STeMS"],
+    );
+    for w in Workload::all() {
+        let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for s in 0..seeds {
+            let trace = w.generate_scaled(settings.scale, settings.seed + s as u64);
+            let base = run_timing(w, Predictor::Stride, &trace, &sys);
+            for (i, p) in Predictor::STREAMING.iter().enumerate() {
+                let r = run_timing(w, *p, &trace, &sys);
+                samples[i].push(r.improvement_percent_over(&base));
+            }
+        }
+        let cells: Vec<String> = samples
+            .iter()
+            .map(|s| {
+                let m = mean_ci(s);
+                format!("{:+.1}% ± {:.1}", m.mean, m.ci95)
+            })
+            .collect();
+        t.row(vec![
+            w.name().to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    format!(
+        "{}\nthe paper's error bars come from SimFlex statistical sampling; ours from \
+         independent synthetic-workload seeds.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_basics() {
+        let m = mean_ci(&[2.0, 4.0, 6.0, 8.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!(m.ci95 > 0.0);
+        assert_eq!(mean_ci(&[]), MeanCi::default());
+        let single = mean_ci(&[3.0]);
+        assert_eq!(single.ci95, 0.0);
+        assert!((single.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_interval() {
+        let m = mean_ci(&[7.0; 10]);
+        assert!((m.mean - 7.0).abs() < 1e-12);
+        assert!(m.ci95.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,296 @@
+//! A set-associative, write-back, LRU cache model.
+//!
+//! Evictions are reported to the caller because they drive predictor
+//! behaviour: a spatial generation ends when one of its accessed blocks is
+//! evicted or invalidated from the L1 (Section 2.4).
+
+use stems_types::BlockAddr;
+
+use crate::config::CacheConfig;
+
+/// A block evicted by an allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted block.
+    pub block: BlockAddr,
+    /// Whether it was dirty (would be written back).
+    pub dirty: bool,
+}
+
+/// Result of a demand access or fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether the block was already present.
+    pub hit: bool,
+    /// Block evicted to make room (misses only; `None` if a free way).
+    pub evicted: Option<Evicted>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    block: BlockAddr,
+    dirty: bool,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Stores block presence and dirtiness only — a trace-driven simulator has
+/// no data values. All operations are O(associativity).
+///
+/// # Example
+///
+/// ```
+/// use stems_memsim::{Cache, CacheConfig};
+/// use stems_types::BlockAddr;
+///
+/// let mut c = Cache::new(&CacheConfig { size_bytes: 128, associativity: 2 });
+/// assert!(!c.access(BlockAddr::new(1), false).hit);
+/// assert!(c.access(BlockAddr::new(1), false).hit);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    /// Per-set lines ordered MRU-first.
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    associativity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (see [`CacheConfig::num_sets`]).
+    pub fn new(config: &CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        Cache {
+            sets: vec![Vec::with_capacity(config.associativity); num_sets],
+            set_mask: num_sets as u64 - 1,
+            associativity: config.associativity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.get() & self.set_mask) as usize
+    }
+
+    /// Performs a demand access, allocating on miss.
+    ///
+    /// On hit the line moves to MRU (and is dirtied by writes). On miss the
+    /// block is inserted; if the set was full, the LRU line is evicted and
+    /// reported.
+    pub fn access(&mut self, block: BlockAddr, is_write: bool) -> CacheOutcome {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|l| l.block == block) {
+            let mut line = set.remove(pos);
+            line.dirty |= is_write;
+            set.insert(0, line);
+            self.hits += 1;
+            return CacheOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.misses += 1;
+        let evicted = if set.len() == self.associativity {
+            let victim = set.pop().expect("full set has a victim");
+            Some(Evicted {
+                block: victim.block,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+        set.insert(
+            0,
+            Line {
+                block,
+                dirty: is_write,
+            },
+        );
+        CacheOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Inserts a block without counting a demand hit/miss (prefetch fill).
+    ///
+    /// Returns the eviction if one occurred. If the block is already
+    /// present it is refreshed to MRU and `None` is returned.
+    pub fn fill(&mut self, block: BlockAddr) -> Option<Evicted> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|l| l.block == block) {
+            let line = set.remove(pos);
+            set.insert(0, line);
+            return None;
+        }
+        let evicted = if set.len() == self.associativity {
+            let victim = set.pop().expect("full set has a victim");
+            Some(Evicted {
+                block: victim.block,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+        set.insert(
+            0,
+            Line {
+                block,
+                dirty: false,
+            },
+        );
+        evicted
+    }
+
+    /// Whether `block` is present (no recency update).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        let idx = self.set_index(block);
+        self.sets[idx].iter().any(|l| l.block == block)
+    }
+
+    /// Removes `block` if present; returns whether it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|l| l.block == block) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Demand hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.associativity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(&CacheConfig {
+            size_bytes: 4 * 64,
+            associativity: 2,
+        })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = tiny();
+        let b = BlockAddr::new(4);
+        assert!(!c.access(b, false).hit);
+        assert!(c.access(b, false).hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_in_set() {
+        let mut c = tiny();
+        // Blocks 0, 2, 4 all map to set 0 (even numbers).
+        c.access(BlockAddr::new(0), false);
+        c.access(BlockAddr::new(2), false);
+        c.access(BlockAddr::new(0), false); // refresh 0; LRU is now 2
+        let out = c.access(BlockAddr::new(4), false);
+        assert_eq!(
+            out.evicted,
+            Some(Evicted {
+                block: BlockAddr::new(2),
+                dirty: false
+            })
+        );
+        assert!(c.contains(BlockAddr::new(0)));
+        assert!(!c.contains(BlockAddr::new(2)));
+    }
+
+    #[test]
+    fn writes_dirty_lines_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.access(BlockAddr::new(0), true);
+        c.access(BlockAddr::new(2), false);
+        let out = c.access(BlockAddr::new(4), false); // evicts 0 (LRU)
+        assert_eq!(
+            out.evicted,
+            Some(Evicted {
+                block: BlockAddr::new(0),
+                dirty: true
+            })
+        );
+    }
+
+    #[test]
+    fn fill_does_not_count_demand_traffic() {
+        let mut c = tiny();
+        c.fill(BlockAddr::new(0));
+        assert_eq!(c.misses(), 0);
+        assert!(c.access(BlockAddr::new(0), false).hit);
+    }
+
+    #[test]
+    fn fill_of_resident_block_refreshes_without_eviction() {
+        let mut c = tiny();
+        c.access(BlockAddr::new(0), false);
+        c.access(BlockAddr::new(2), false);
+        assert_eq!(c.fill(BlockAddr::new(0)), None);
+        // 2 is now LRU; a new block evicts it, not 0.
+        let e = c.fill(BlockAddr::new(4)).unwrap();
+        assert_eq!(e.block, BlockAddr::new(2));
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny();
+        c.access(BlockAddr::new(6), false);
+        assert!(c.invalidate(BlockAddr::new(6)));
+        assert!(!c.contains(BlockAddr::new(6)));
+        assert!(!c.invalidate(BlockAddr::new(6)));
+    }
+
+    #[test]
+    fn occupancy_tracks_contents() {
+        let mut c = tiny();
+        assert_eq!(c.capacity(), 4);
+        c.access(BlockAddr::new(0), false);
+        c.access(BlockAddr::new(1), false);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = tiny();
+        // Odd blocks map to set 1.
+        c.access(BlockAddr::new(0), false);
+        c.access(BlockAddr::new(1), false);
+        c.access(BlockAddr::new(3), false);
+        c.access(BlockAddr::new(5), false); // evicts 1, not 0
+        assert!(c.contains(BlockAddr::new(0)));
+        assert!(!c.contains(BlockAddr::new(1)));
+    }
+}

@@ -1,0 +1,270 @@
+//! A full-map MSI directory at cache-block granularity.
+//!
+//! The paper's testbed is a 16-node directory-based shared-memory
+//! multiprocessor. The directory tracks, per 64B block, which nodes hold a
+//! copy and whether one holds it modified. Reads join the sharer set
+//! (downgrading a modified owner); writes invalidate all other copies.
+//! Invalidations are surfaced to the caller because they terminate spatial
+//! generations and evict streamed-value-buffer entries at the victims.
+
+use std::collections::HashMap;
+
+use stems_types::BlockAddr;
+
+/// Identifies one of the processors (0-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct DirEntry {
+    /// Bitmask of nodes holding a copy.
+    sharers: u64,
+    /// Node holding the block modified, if any (then `sharers` has exactly
+    /// that bit set).
+    owner: Option<NodeId>,
+}
+
+/// Where a miss's data came from, which determines its latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataSource {
+    /// From DRAM at the home node.
+    Memory,
+    /// Forwarded from another node's cache (dirty or shared intervention).
+    RemoteCache(NodeId),
+}
+
+/// Result of a directory read request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Where the data came from.
+    pub source: DataSource,
+    /// An owner that was downgraded from modified to shared, if any.
+    pub downgraded: Option<NodeId>,
+}
+
+/// Result of a directory write (read-exclusive) request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Where the data came from.
+    pub source: DataSource,
+    /// Nodes whose copies were invalidated.
+    pub invalidated: Vec<NodeId>,
+}
+
+/// The full-map directory.
+///
+/// # Example
+///
+/// ```
+/// use stems_memsim::{Directory, NodeId};
+/// use stems_types::BlockAddr;
+///
+/// let mut dir = Directory::new(4);
+/// let b = BlockAddr::new(10);
+/// dir.read(NodeId(0), b);
+/// let w = dir.write(NodeId(1), b);
+/// assert_eq!(w.invalidated, vec![NodeId(0)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Directory {
+    entries: HashMap<BlockAddr, DirEntry>,
+    nodes: usize,
+}
+
+impl Directory {
+    /// Creates a directory for `nodes` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `nodes > 64` (full-map bitmask width).
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0 && nodes <= 64, "nodes must be in 1..=64");
+        Directory {
+            entries: HashMap::new(),
+            nodes,
+        }
+    }
+
+    fn check_node(&self, node: NodeId) {
+        assert!(node.0 < self.nodes, "node {node} out of range");
+    }
+
+    /// Handles a read miss from `node`.
+    pub fn read(&mut self, node: NodeId, block: BlockAddr) -> ReadOutcome {
+        self.check_node(node);
+        let entry = self.entries.entry(block).or_default();
+        let mut downgraded = None;
+        let source = match entry.owner {
+            Some(owner) if owner != node => {
+                // Dirty remote copy: forward and downgrade to shared.
+                entry.owner = None;
+                downgraded = Some(owner);
+                DataSource::RemoteCache(owner)
+            }
+            Some(_) => DataSource::Memory, // re-read by the owner itself
+            None => {
+                if entry.sharers != 0 && entry.sharers != (1 << node.0) {
+                    let first = entry.sharers.trailing_zeros() as usize;
+                    if first == node.0 {
+                        // Pick a sharer other than the requester.
+                        let rest = entry.sharers & !(1u64 << node.0);
+                        if rest != 0 {
+                            DataSource::RemoteCache(NodeId(rest.trailing_zeros() as usize))
+                        } else {
+                            DataSource::Memory
+                        }
+                    } else {
+                        DataSource::RemoteCache(NodeId(first))
+                    }
+                } else {
+                    DataSource::Memory
+                }
+            }
+        };
+        entry.sharers |= 1 << node.0;
+        ReadOutcome { source, downgraded }
+    }
+
+    /// Handles a write (read-exclusive / upgrade) from `node`.
+    pub fn write(&mut self, node: NodeId, block: BlockAddr) -> WriteOutcome {
+        self.check_node(node);
+        let entry = self.entries.entry(block).or_default();
+        let mut invalidated = Vec::new();
+        let source = if let Some(owner) = entry.owner.filter(|&o| o != node) {
+            invalidated.push(owner);
+            DataSource::RemoteCache(owner)
+        } else if entry.sharers & !(1u64 << node.0) != 0 {
+            let others = entry.sharers & !(1u64 << node.0);
+            for n in 0..self.nodes {
+                if others & (1 << n) != 0 {
+                    invalidated.push(NodeId(n));
+                }
+            }
+            DataSource::RemoteCache(NodeId(others.trailing_zeros() as usize))
+        } else {
+            DataSource::Memory
+        };
+        entry.sharers = 1 << node.0;
+        entry.owner = Some(node);
+        WriteOutcome {
+            source,
+            invalidated,
+        }
+    }
+
+    /// Records that `node` silently dropped its copy (cache eviction).
+    pub fn evict(&mut self, node: NodeId, block: BlockAddr) {
+        self.check_node(node);
+        if let Some(entry) = self.entries.get_mut(&block) {
+            entry.sharers &= !(1u64 << node.0);
+            if entry.owner == Some(node) {
+                entry.owner = None;
+            }
+            if entry.sharers == 0 {
+                self.entries.remove(&block);
+            }
+        }
+    }
+
+    /// Nodes currently holding `block`.
+    pub fn sharers(&self, block: BlockAddr) -> Vec<NodeId> {
+        match self.entries.get(&block) {
+            None => Vec::new(),
+            Some(e) => (0..self.nodes)
+                .filter(|&n| e.sharers & (1 << n) != 0)
+                .map(NodeId)
+                .collect(),
+        }
+    }
+
+    /// The modified-state owner of `block`, if any.
+    pub fn owner(&self, block: BlockAddr) -> Option<NodeId> {
+        self.entries.get(&block).and_then(|e| e.owner)
+    }
+
+    /// Number of blocks with directory state.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_comes_from_memory() {
+        let mut dir = Directory::new(4);
+        let out = dir.read(NodeId(0), BlockAddr::new(5));
+        assert_eq!(out.source, DataSource::Memory);
+        assert_eq!(dir.sharers(BlockAddr::new(5)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn read_after_remote_write_forwards_and_downgrades() {
+        let mut dir = Directory::new(4);
+        let b = BlockAddr::new(5);
+        dir.write(NodeId(2), b);
+        let out = dir.read(NodeId(0), b);
+        assert_eq!(out.source, DataSource::RemoteCache(NodeId(2)));
+        assert_eq!(out.downgraded, Some(NodeId(2)));
+        assert_eq!(dir.owner(b), None);
+        assert_eq!(dir.sharers(b), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn write_invalidates_all_sharers() {
+        let mut dir = Directory::new(4);
+        let b = BlockAddr::new(7);
+        dir.read(NodeId(0), b);
+        dir.read(NodeId(1), b);
+        dir.read(NodeId(3), b);
+        let out = dir.write(NodeId(2), b);
+        assert_eq!(out.invalidated, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(dir.owner(b), Some(NodeId(2)));
+        assert_eq!(dir.sharers(b), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn write_by_existing_owner_invalidates_nothing() {
+        let mut dir = Directory::new(4);
+        let b = BlockAddr::new(7);
+        dir.write(NodeId(2), b);
+        let out = dir.write(NodeId(2), b);
+        assert!(out.invalidated.is_empty());
+    }
+
+    #[test]
+    fn shared_read_forwards_from_a_sharer() {
+        let mut dir = Directory::new(4);
+        let b = BlockAddr::new(9);
+        dir.read(NodeId(1), b);
+        let out = dir.read(NodeId(3), b);
+        assert_eq!(out.source, DataSource::RemoteCache(NodeId(1)));
+        assert_eq!(out.downgraded, None);
+    }
+
+    #[test]
+    fn evict_clears_state() {
+        let mut dir = Directory::new(4);
+        let b = BlockAddr::new(11);
+        dir.write(NodeId(0), b);
+        dir.evict(NodeId(0), b);
+        assert_eq!(dir.owner(b), None);
+        assert!(dir.sharers(b).is_empty());
+        assert_eq!(dir.tracked_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_bounds_are_enforced() {
+        let mut dir = Directory::new(2);
+        dir.read(NodeId(2), BlockAddr::new(0));
+    }
+}

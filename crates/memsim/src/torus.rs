@@ -1,0 +1,120 @@
+//! The 4x4 2D torus interconnect latency model (Table 1).
+//!
+//! Nodes are arranged row-major on a `dim x dim` grid with wrap-around
+//! links; message latency is the wrap-around Manhattan hop count times the
+//! per-hop latency. Each block has a *home node* (address-interleaved)
+//! whose directory and memory serve it.
+
+use stems_types::BlockAddr;
+
+use crate::directory::NodeId;
+
+/// A square 2D torus of `dim * dim` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    dim: usize,
+}
+
+impl Torus {
+    /// Creates a `dim x dim` torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "torus dimension must be nonzero");
+        Torus { dim }
+    }
+
+    /// The paper's 4x4 configuration.
+    pub fn paper() -> Self {
+        Torus::new(4)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        (node.0 / self.dim, node.0 % self.dim)
+    }
+
+    fn ring_distance(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(self.dim - d)
+    }
+
+    /// Wrap-around Manhattan hop count between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        (self.ring_distance(ar, br) + self.ring_distance(ac, bc)) as u32
+    }
+
+    /// The home node of a block (address-interleaved across nodes).
+    pub fn home(&self, block: BlockAddr) -> NodeId {
+        NodeId((block.get() % self.nodes() as u64) as usize)
+    }
+
+    /// Average hop count from a node to a uniformly random other node —
+    /// the expected one-way distance for directory/memory traffic.
+    pub fn average_hops(&self) -> f64 {
+        let n = self.nodes();
+        let total: u32 = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .map(|(a, b)| self.hops(NodeId(a), NodeId(b)))
+            .sum();
+        total as f64 / (n * n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_on_4x4() {
+        let t = Torus::paper();
+        assert_eq!(t.nodes(), 16);
+        assert_eq!(t.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+        // Wrap-around: node 0 (0,0) to node 3 (0,3) is one hop, not three.
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 1);
+        // Opposite corner (2,2) is the diameter: 2 + 2 = 4.
+        assert_eq!(t.hops(NodeId(0), NodeId(10)), 4);
+    }
+
+    #[test]
+    fn hops_are_symmetric() {
+        let t = Torus::paper();
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.hops(NodeId(a), NodeId(b)), t.hops(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn home_is_stable_and_in_range() {
+        let t = Torus::paper();
+        let b = BlockAddr::new(12345);
+        let h = t.home(b);
+        assert_eq!(t.home(b), h);
+        assert!(h.0 < 16);
+    }
+
+    #[test]
+    fn average_hops_is_two_on_4x4() {
+        // Each ring of size 4 averages (0+1+2+1)/4 = 1 per dimension.
+        let t = Torus::paper();
+        assert!((t.average_hops() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected() {
+        Torus::new(2).hops(NodeId(0), NodeId(4));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the memory-system substrate: the cache is
+//! checked against a naive reference model, the directory against
+//! protocol invariants, and the torus against metric-space laws.
+
+use proptest::prelude::*;
+
+use stems_memsim::{Cache, CacheConfig, Directory, Hierarchy, NodeId, SystemConfig, Torus};
+use stems_types::BlockAddr;
+
+/// A naive, obviously-correct set-associative LRU model.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // MRU-first
+    assoc: usize,
+    mask: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, assoc: usize) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            assoc,
+            mask: sets as u64 - 1,
+        }
+    }
+
+    fn access(&mut self, block: u64) -> bool {
+        let set = &mut self.sets[(block & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set.remove(pos);
+            set.insert(0, block);
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.pop();
+            }
+            set.insert(0, block);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The production cache agrees with the reference model on every
+    /// hit/miss outcome under arbitrary access interleavings.
+    #[test]
+    fn cache_matches_reference_model(
+        blocks in proptest::collection::vec(0u64..128, 1..500),
+    ) {
+        let cfg = CacheConfig { size_bytes: 16 * 64, associativity: 4 }; // 4 sets x 4 ways
+        let mut cache = Cache::new(&cfg);
+        let mut reference = RefCache::new(4, 4);
+        for &b in &blocks {
+            let got = cache.access(BlockAddr::new(b), false).hit;
+            let want = reference.access(b);
+            prop_assert_eq!(got, want, "divergence at block {}", b);
+        }
+    }
+
+    /// Directory invariant: after any operation sequence, a modified
+    /// owner is the sole sharer, and sharers never exceed the node count.
+    #[test]
+    fn directory_protocol_invariants(
+        ops in proptest::collection::vec((0usize..4, 0u64..8, any::<bool>()), 1..300),
+    ) {
+        let mut dir = Directory::new(4);
+        for &(node, block, write) in &ops {
+            let block = BlockAddr::new(block);
+            if write {
+                let out = dir.write(NodeId(node), block);
+                prop_assert!(!out.invalidated.contains(&NodeId(node)));
+                prop_assert_eq!(dir.owner(block), Some(NodeId(node)));
+                prop_assert_eq!(dir.sharers(block), vec![NodeId(node)]);
+            } else {
+                dir.read(NodeId(node), block);
+                prop_assert!(dir.sharers(block).contains(&NodeId(node)));
+            }
+            prop_assert!(dir.sharers(block).len() <= 4);
+            if let Some(owner) = dir.owner(block) {
+                prop_assert_eq!(dir.sharers(block), vec![owner]);
+            }
+        }
+    }
+
+    /// The torus hop count is a metric: symmetric, zero iff equal, and
+    /// satisfies the triangle inequality.
+    #[test]
+    fn torus_is_a_metric(a in 0usize..16, b in 0usize..16, c in 0usize..16) {
+        let t = Torus::paper();
+        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
+        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
+        prop_assert_eq!(t.hops(a, a), 0);
+        if a != b {
+            prop_assert!(t.hops(a, b) > 0);
+        }
+        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        prop_assert!(t.hops(a, b) <= 4, "4x4 torus diameter is 4");
+    }
+
+    /// Inclusive hierarchy invariant: every L1-resident block is also
+    /// L2-resident, under arbitrary demand/fill/invalidate mixes.
+    #[test]
+    fn hierarchy_is_inclusive(
+        ops in proptest::collection::vec((0u64..512, 0u8..3), 1..400),
+    ) {
+        let mut h = Hierarchy::new(&SystemConfig::small());
+        let mut touched = Vec::new();
+        for &(block, op) in &ops {
+            let block = BlockAddr::new(block);
+            match op {
+                0 => {
+                    h.access(block, false);
+                }
+                1 => {
+                    h.fill(block);
+                }
+                _ => {
+                    h.invalidate(block);
+                }
+            }
+            touched.push(block);
+            if touched.len() % 16 == 0 {
+                for &b in touched.iter().rev().take(16) {
+                    if h.in_l1(b) {
+                        prop_assert!(h.in_l2(b), "L1 block {b:?} missing from L2");
+                    }
+                }
+            }
+        }
+    }
+}

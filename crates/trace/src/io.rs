@@ -1,0 +1,216 @@
+//! Binary trace serialization.
+//!
+//! A small fixed-width little-endian codec so traces can be captured once
+//! and replayed across experiments (the paper's methodology collects traces
+//! first and analyzes them repeatedly, Section 5.1). Format:
+//!
+//! ```text
+//! magic   [u8; 8]  = b"STEMSTR1"
+//! count   u64      number of records
+//! records count x 24 bytes:
+//!     pc     u64
+//!     addr   u64
+//!     kind   u8   (0 = read, 1 = write)
+//!     dep    u8   (0 = independent, 1 = on-prev)
+//!     work   u16
+//!     pad    u32  (reserved, zero)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use stems_types::{Addr, Pc};
+
+use crate::{Access, AccessKind, Dependence, Trace};
+
+const MAGIC: &[u8; 8] = b"STEMSTR1";
+const RECORD_BYTES: usize = 24;
+
+/// Errors produced by trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// A record contained an invalid enum encoding.
+    BadRecord {
+        /// Index of the offending record.
+        index: u64,
+    },
+    /// The stream ended before `count` records were read.
+    Truncated,
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a stems trace (bad magic)"),
+            TraceIoError::BadRecord { index } => {
+                write!(f, "invalid trace record at index {index}")
+            }
+            TraceIoError::Truncated => write!(f, "trace stream ended early"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes `trace` to `writer` in the binary trace format.
+///
+/// A `&mut` reference may be passed for the writer.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on any underlying write failure.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut buf = [0u8; RECORD_BYTES];
+    for a in trace.iter() {
+        buf[0..8].copy_from_slice(&a.pc.get().to_le_bytes());
+        buf[8..16].copy_from_slice(&a.addr.get().to_le_bytes());
+        buf[16] = match a.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        };
+        buf[17] = match a.dep {
+            Dependence::Independent => 0,
+            Dependence::OnPrevAccess => 1,
+        };
+        buf[18..20].copy_from_slice(&a.work_before.to_le_bytes());
+        buf[20..24].copy_from_slice(&0u32.to_le_bytes());
+        writer.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// A `&mut` reference may be passed for the reader.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadMagic`] if the header is wrong,
+/// [`TraceIoError::Truncated`] if the stream ends early, and
+/// [`TraceIoError::BadRecord`] if a record's kind/dep byte is invalid.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceIoError::Truncated
+        } else {
+            TraceIoError::Io(e)
+        }
+    })?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut count_buf = [0u8; 8];
+    reader.read_exact(&mut count_buf)?;
+    let count = u64::from_le_bytes(count_buf);
+    let mut trace = Trace::with_capacity(count.min(1 << 24) as usize);
+    let mut buf = [0u8; RECORD_BYTES];
+    for index in 0..count {
+        reader.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceIoError::Truncated
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
+        let pc = Pc::new(u64::from_le_bytes(buf[0..8].try_into().unwrap()));
+        let addr = Addr::new(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+        let kind = match buf[16] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            _ => return Err(TraceIoError::BadRecord { index }),
+        };
+        let dep = match buf[17] {
+            0 => Dependence::Independent,
+            1 => Dependence::OnPrevAccess,
+            _ => return Err(TraceIoError::BadRecord { index }),
+        };
+        let work = u16::from_le_bytes(buf[18..20].try_into().unwrap());
+        trace.push(Access {
+            pc,
+            addr,
+            kind,
+            dep,
+            work_before: work,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(
+            Access::read(Pc::new(0xAABB), Addr::new(0x1000))
+                .with_dep(Dependence::OnPrevAccess)
+                .with_work(42),
+        );
+        t.push(Access::write(Pc::new(1), Addr::new(u64::MAX)));
+        t
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let err = read_trace(&b"NOTATRACE_______"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_kind_is_detected() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf[16 + 16] = 9; // first record's kind byte
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadRecord { index: 0 }));
+    }
+}

@@ -1,0 +1,113 @@
+//! Trace summary statistics.
+
+use std::collections::HashSet;
+
+use crate::{AccessKind, Dependence, Trace};
+
+/// Aggregate statistics over a trace, used to sanity-check workload
+/// generators against the footprints in Table 1.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total accesses.
+    pub accesses: usize,
+    /// Read accesses.
+    pub reads: usize,
+    /// Write accesses.
+    pub writes: usize,
+    /// Accesses marked dependent on the previous access.
+    pub dependent: usize,
+    /// Distinct 64B blocks touched.
+    pub unique_blocks: usize,
+    /// Distinct 2KB regions touched.
+    pub unique_regions: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut blocks = HashSet::new();
+        let mut regions = HashSet::new();
+        let mut stats = TraceStats {
+            accesses: trace.len(),
+            ..TraceStats::default()
+        };
+        for a in trace.iter() {
+            match a.kind {
+                AccessKind::Read => stats.reads += 1,
+                AccessKind::Write => stats.writes += 1,
+            }
+            if a.dep == Dependence::OnPrevAccess {
+                stats.dependent += 1;
+            }
+            blocks.insert(a.addr.block());
+            regions.insert(a.addr.region());
+        }
+        stats.unique_blocks = blocks.len();
+        stats.unique_regions = regions.len();
+        stats
+    }
+
+    /// Approximate data footprint in bytes (unique blocks x 64B).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_blocks as u64 * stems_types::BLOCK_BYTES
+    }
+
+    /// Fraction of accesses that are reads (0 for an empty trace).
+    pub fn read_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.reads as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} R / {} W, {} dep), {} blocks / {} regions, {:.1} MB",
+            self.accesses,
+            self.reads,
+            self.writes,
+            self.dependent,
+            self.unique_blocks,
+            self.unique_regions,
+            self.footprint_bytes() as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Access;
+    use stems_types::{Addr, Pc};
+
+    #[test]
+    fn counts_are_correct() {
+        let mut t = Trace::new();
+        t.read(1, 0); // block 0, region 0
+        t.read(1, 64); // block 1, region 0
+        t.write(2, 4096); // block 64, region 2
+        t.push(
+            Access::read(Pc::new(3), Addr::new(64)).with_dep(Dependence::OnPrevAccess),
+        );
+        let s = t.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.dependent, 1);
+        assert_eq!(s.unique_blocks, 3);
+        assert_eq!(s.unique_regions, 2);
+        assert_eq!(s.footprint_bytes(), 3 * 64);
+        assert!((s.read_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = Trace::new().stats();
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.read_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Saturating counters.
+//!
+//! Section 4.3 replaces SMS's pattern bit vectors with vectors of 2-bit
+//! saturating counters, one per block: hysteresis lets the history learn the
+//! *stable* part of each pattern while filtering unstable accesses, halving
+//! overpredictions at the same coverage.
+
+use core::fmt;
+
+/// An n-state saturating counter with a configurable prediction threshold.
+///
+/// `MAX` is the saturation value (inclusive); a 2-bit counter uses
+/// `SatCounter<3>`. A counter *predicts taken* when its value is at or above
+/// the threshold supplied to [`SatCounter::predicts`].
+///
+/// # Example
+///
+/// ```
+/// use stems_types::SatCounter;
+///
+/// let mut c: SatCounter<3> = SatCounter::new(0);
+/// c.increment();
+/// c.increment();
+/// assert!(c.predicts(2));
+/// c.decrement();
+/// assert!(!c.predicts(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SatCounter<const MAX: u8>(u8);
+
+impl<const MAX: u8> SatCounter<MAX> {
+    /// Creates a counter at `value`, clamped to `MAX`.
+    pub fn new(value: u8) -> Self {
+        SatCounter(value.min(MAX))
+    }
+
+    /// Current value (always `<= MAX`).
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Increments, saturating at `MAX`.
+    pub fn increment(&mut self) {
+        if self.0 < MAX {
+            self.0 += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    pub fn decrement(&mut self) {
+        self.0 = self.0.saturating_sub(1);
+    }
+
+    /// Whether the counter is at or above `threshold`.
+    pub const fn predicts(self, threshold: u8) -> bool {
+        self.0 >= threshold
+    }
+
+    /// Whether the counter is saturated at `MAX`.
+    pub const fn is_saturated(self) -> bool {
+        self.0 == MAX
+    }
+}
+
+impl<const MAX: u8> fmt::Debug for SatCounter<MAX> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SatCounter({}/{})", self.0, MAX)
+    }
+}
+
+impl<const MAX: u8> fmt::Display for SatCounter<MAX> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The paper's 2-bit saturating counter (values 0..=3, predict at >= 2).
+pub type Counter2 = SatCounter<3>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c: SatCounter<3> = SatCounter::new(0);
+        c.decrement();
+        assert_eq!(c.get(), 0);
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.get(), 3);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn new_clamps() {
+        let c: SatCounter<3> = SatCounter::new(250);
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn hysteresis_requires_two_misses_to_flip() {
+        // A saturated counter still predicts after one non-occurrence.
+        let mut c: SatCounter<3> = SatCounter::new(3);
+        c.decrement();
+        assert!(c.predicts(2));
+        c.decrement();
+        assert!(!c.predicts(2));
+    }
+}

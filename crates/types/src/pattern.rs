@@ -1,0 +1,228 @@
+//! Spatial bit patterns over a 32-block region.
+//!
+//! SMS (Section 2.4) encodes which blocks of a 2KB region were touched
+//! during a spatial generation as a 32-bit vector, one bit per 64B block.
+
+use core::fmt;
+
+use crate::{BlockOffset, REGION_BLOCKS};
+
+/// A set of touched blocks within one spatial region, one bit per block.
+///
+/// Bit *i* corresponds to [`BlockOffset`] *i*. The all-zero pattern is
+/// valid but never produced by training (a generation always contains its
+/// trigger access).
+///
+/// # Example
+///
+/// ```
+/// use stems_types::{BlockOffset, SpatialPattern};
+///
+/// let mut p = SpatialPattern::empty();
+/// p.set(BlockOffset::new(0));
+/// p.set(BlockOffset::new(7));
+/// assert_eq!(p.count(), 2);
+/// assert!(p.contains(BlockOffset::new(7)));
+/// let offsets: Vec<u8> = p.iter().map(|o| o.get()).collect();
+/// assert_eq!(offsets, [0, 7]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SpatialPattern(u32);
+
+impl SpatialPattern {
+    /// The empty pattern.
+    pub const fn empty() -> Self {
+        SpatialPattern(0)
+    }
+
+    /// Builds a pattern from a raw bit vector.
+    pub const fn from_bits(bits: u32) -> Self {
+        SpatialPattern(bits)
+    }
+
+    /// Raw bit vector.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Marks `offset` as touched.
+    pub fn set(&mut self, offset: BlockOffset) {
+        self.0 |= 1 << offset.get();
+    }
+
+    /// Clears `offset`.
+    pub fn clear(&mut self, offset: BlockOffset) {
+        self.0 &= !(1 << offset.get());
+    }
+
+    /// Whether `offset` is touched.
+    pub const fn contains(self, offset: BlockOffset) -> bool {
+        self.0 & (1 << offset.get()) != 0
+    }
+
+    /// Number of touched blocks.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no block is touched.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union of two patterns.
+    pub const fn union(self, other: Self) -> Self {
+        SpatialPattern(self.0 | other.0)
+    }
+
+    /// Intersection of two patterns.
+    pub const fn intersection(self, other: Self) -> Self {
+        SpatialPattern(self.0 & other.0)
+    }
+
+    /// Blocks in `self` but not in `other`.
+    pub const fn difference(self, other: Self) -> Self {
+        SpatialPattern(self.0 & !other.0)
+    }
+
+    /// Iterates over touched offsets in increasing order.
+    pub fn iter(self) -> Iter {
+        Iter { bits: self.0 }
+    }
+}
+
+impl FromIterator<BlockOffset> for SpatialPattern {
+    fn from_iter<I: IntoIterator<Item = BlockOffset>>(iter: I) -> Self {
+        let mut p = SpatialPattern::empty();
+        for o in iter {
+            p.set(o);
+        }
+        p
+    }
+}
+
+impl Extend<BlockOffset> for SpatialPattern {
+    fn extend<I: IntoIterator<Item = BlockOffset>>(&mut self, iter: I) {
+        for o in iter {
+            self.set(o);
+        }
+    }
+}
+
+impl IntoIterator for SpatialPattern {
+    type Item = BlockOffset;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the touched offsets of a [`SpatialPattern`].
+#[derive(Clone, Debug)]
+pub struct Iter {
+    bits: u32,
+}
+
+impl Iterator for Iter {
+    type Item = BlockOffset;
+
+    fn next(&mut self) -> Option<BlockOffset> {
+        if self.bits == 0 {
+            return None;
+        }
+        let tz = self.bits.trailing_zeros() as u8;
+        self.bits &= self.bits - 1;
+        Some(BlockOffset::new(tz))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Debug for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpatialPattern({:#034b})", self.0)
+    }
+}
+
+impl fmt::Display for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..REGION_BLOCKS as u8).rev() {
+            let bit = if self.0 & (1 << i) != 0 { '1' } else { '.' };
+            write!(f, "{bit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut p = SpatialPattern::empty();
+        assert!(p.is_empty());
+        p.set(BlockOffset::new(31));
+        assert!(p.contains(BlockOffset::new(31)));
+        assert_eq!(p.count(), 1);
+        p.clear(BlockOffset::new(31));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut p = SpatialPattern::empty();
+        p.set(BlockOffset::new(4));
+        p.set(BlockOffset::new(4));
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a: SpatialPattern = [0u8, 1, 2].iter().map(|&o| BlockOffset::new(o)).collect();
+        let b: SpatialPattern = [2u8, 3].iter().map(|&o| BlockOffset::new(o)).collect();
+        assert_eq!(a.union(b).count(), 4);
+        assert_eq!(a.intersection(b).count(), 1);
+        assert_eq!(a.difference(b).count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_offsets() {
+        let p = SpatialPattern::from_bits(0b1000_0000_0000_0101);
+        let v: Vec<u8> = p.iter().map(|o| o.get()).collect();
+        assert_eq!(v, [0, 2, 15]);
+        assert_eq!(p.iter().len(), 3);
+    }
+
+    #[test]
+    fn display_shows_all_32_positions() {
+        let p = SpatialPattern::from_bits(1);
+        let s = format!("{p}");
+        assert_eq!(s.len(), 32);
+        assert!(s.ends_with('1'));
+    }
+}

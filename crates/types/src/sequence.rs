@@ -1,0 +1,352 @@
+//! Ordered spatial sequences with reconstruction deltas.
+//!
+//! STeMS's key data structure (Section 3.1, Figure 3): instead of SMS's bit
+//! vector, a region's history records the *order* in which blocks were first
+//! accessed, and for each block a **delta** — the number of global misses
+//! interleaved between the previous element of this sequence and this one.
+//! Given the trigger sequence and the per-region spatial sequences, the
+//! original total miss order can be reconstructed (Figure 5).
+//!
+//! Each stored element also carries a 2-bit saturating counter (Section 4.3)
+//! so the pattern sequence table learns the stable part of each pattern.
+
+use core::fmt;
+
+use crate::{BlockOffset, SatCounter, SpatialPattern, REGION_BLOCKS};
+
+/// Initial value for a newly inserted element's 2-bit counter.
+///
+/// Starting one below the prediction threshold means an element must be
+/// observed twice before it is predicted: stable pattern elements cross
+/// the threshold after one retrain (the index is shared by many regions,
+/// so this costs almost no coverage), while one-off noise offsets never
+/// get predicted — the hysteresis that halves overpredictions
+/// (Section 4.3).
+pub const COUNTER_INIT: u8 = 1;
+
+/// Counter value at or above which an element is predicted.
+pub const PREDICT_THRESHOLD: u8 = 2;
+
+/// A reconstruction delta: the number of global misses skipped between the
+/// previous element of a sequence and this element (Figure 3).
+///
+/// Stored in 8 bits in hardware (Section 4.3); values saturate at 255.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Delta(u8);
+
+impl Delta {
+    /// Zero delta — the element immediately follows its predecessor.
+    pub const ZERO: Delta = Delta(0);
+
+    /// Creates a delta, saturating at 255 as the 8-bit hardware field would.
+    pub fn from_gap(gap: usize) -> Self {
+        Delta(gap.min(u8::MAX as usize) as u8)
+    }
+
+    /// Raw value.
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Delta({})", self.0)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u8> for Delta {
+    fn from(raw: u8) -> Self {
+        Delta(raw)
+    }
+}
+
+/// One element of a spatial sequence: a block offset, its reconstruction
+/// delta, and the 2-bit confidence counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SeqEntry {
+    /// Block offset within the 2KB region.
+    pub offset: BlockOffset,
+    /// Misses skipped since the previous element of this sequence.
+    pub delta: Delta,
+    /// 2-bit hysteresis counter (Section 4.3).
+    pub counter: SatCounter<3>,
+}
+
+/// The ordered access sequence of one spatial region.
+///
+/// Elements appear in order of *first access* within a generation; an
+/// offset can appear at most once (Section 4.3). Used both for observed
+/// generations (in the active generation table) and for trained history
+/// (in the pattern sequence table).
+///
+/// # Example
+///
+/// ```
+/// use stems_types::{BlockOffset, Delta, SpatialSequence};
+///
+/// // Region A from Figure 3: offsets +4, +2, -1 → we store unsigned
+/// // in-region offsets; deltas record interleaving gaps.
+/// let mut seq = SpatialSequence::new();
+/// seq.push(BlockOffset::new(4), Delta::from_gap(0));
+/// seq.push(BlockOffset::new(2), Delta::from_gap(1));
+/// assert_eq!(seq.len(), 2);
+/// assert!(!seq.push(BlockOffset::new(4), Delta::ZERO)); // only once
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct SpatialSequence {
+    entries: Vec<SeqEntry>,
+    present: SpatialPattern,
+}
+
+impl SpatialSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        SpatialSequence {
+            entries: Vec::new(),
+            present: SpatialPattern::empty(),
+        }
+    }
+
+    /// Appends `offset` with `delta` if not already present.
+    ///
+    /// Returns `true` if the element was inserted; `false` if the offset was
+    /// already recorded (a block only appears once, at its first access).
+    pub fn push(&mut self, offset: BlockOffset, delta: Delta) -> bool {
+        if self.present.contains(offset) {
+            return false;
+        }
+        self.present.set(offset);
+        self.entries.push(SeqEntry {
+            offset,
+            delta,
+            counter: SatCounter::new(COUNTER_INIT),
+        });
+        true
+    }
+
+    /// Number of elements (at most 32).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `offset` is present.
+    pub fn contains(&self, offset: BlockOffset) -> bool {
+        self.present.contains(offset)
+    }
+
+    /// The element for `offset`, if present.
+    pub fn get(&self, offset: BlockOffset) -> Option<&SeqEntry> {
+        if !self.present.contains(offset) {
+            return None;
+        }
+        self.entries.iter().find(|e| e.offset == offset)
+    }
+
+    /// Position of `offset` in first-access order, if present.
+    pub fn position(&self, offset: BlockOffset) -> Option<usize> {
+        if !self.present.contains(offset) {
+            return None;
+        }
+        self.entries.iter().position(|e| e.offset == offset)
+    }
+
+    /// Elements in first-access order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &SeqEntry> {
+        self.entries.iter()
+    }
+
+    /// The set of present offsets as a bit pattern (what SMS would store).
+    pub fn pattern(&self) -> SpatialPattern {
+        self.present
+    }
+
+    /// Elements whose counter meets [`PREDICT_THRESHOLD`], in order.
+    pub fn predicted(&self) -> impl Iterator<Item = &SeqEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.counter.predicts(PREDICT_THRESHOLD))
+    }
+
+    /// The predicted offsets as a bit pattern.
+    pub fn predicted_pattern(&self) -> SpatialPattern {
+        self.predicted().map(|e| e.offset).collect()
+    }
+
+    /// Retrains this (stored) sequence against a newly observed one.
+    ///
+    /// * offsets in both: counter incremented, order and delta updated to
+    ///   the most recent observation;
+    /// * offsets only stored: counter decremented, kept at the tail in their
+    ///   prior relative order (they decay out of prediction);
+    /// * offsets only observed: inserted at [`COUNTER_INIT`].
+    ///
+    /// The sequence is truncated to 32 elements (one slot per block), which
+    /// cannot overflow since offsets are unique.
+    pub fn retrain(&mut self, observed: &SpatialSequence) {
+        let mut merged: Vec<SeqEntry> = Vec::with_capacity(REGION_BLOCKS);
+        let mut present = SpatialPattern::empty();
+        for obs in &observed.entries {
+            let counter = match self.get(obs.offset) {
+                Some(old) => {
+                    let mut c = old.counter;
+                    c.increment();
+                    c
+                }
+                None => SatCounter::new(COUNTER_INIT),
+            };
+            merged.push(SeqEntry {
+                offset: obs.offset,
+                delta: obs.delta,
+                counter,
+            });
+            present.set(obs.offset);
+        }
+        for old in &self.entries {
+            if !present.contains(old.offset) {
+                let mut c = old.counter;
+                c.decrement();
+                if c.get() > 0 {
+                    merged.push(SeqEntry {
+                        offset: old.offset,
+                        delta: old.delta,
+                        counter: c,
+                    });
+                    present.set(old.offset);
+                }
+            }
+        }
+        self.entries = merged;
+        self.present = present;
+    }
+}
+
+impl fmt::Debug for SpatialSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpatialSequence[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "({},{},c{})", e.offset, e.delta, e.counter)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<(BlockOffset, Delta)> for SpatialSequence {
+    fn from_iter<I: IntoIterator<Item = (BlockOffset, Delta)>>(iter: I) -> Self {
+        let mut s = SpatialSequence::new();
+        for (o, d) in iter {
+            s.push(o, d);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(items: &[(u8, u8)]) -> SpatialSequence {
+        items
+            .iter()
+            .map(|&(o, d)| (BlockOffset::new(o), Delta::from(d)))
+            .collect()
+    }
+
+    #[test]
+    fn push_preserves_first_access_order() {
+        let s = seq(&[(4, 0), (2, 1), (31, 1)]);
+        let order: Vec<u8> = s.iter().map(|e| e.offset.get()).collect();
+        assert_eq!(order, [4, 2, 31]);
+        assert_eq!(s.position(BlockOffset::new(2)), Some(1));
+        assert_eq!(s.position(BlockOffset::new(9)), None);
+    }
+
+    #[test]
+    fn duplicate_offsets_are_rejected() {
+        let mut s = seq(&[(4, 0)]);
+        assert!(!s.push(BlockOffset::new(4), Delta::from(7)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(BlockOffset::new(4)).unwrap().delta.get(), 0);
+    }
+
+    #[test]
+    fn delta_saturates_like_8bit_hardware_field() {
+        assert_eq!(Delta::from_gap(1000).get(), 255);
+        assert_eq!(Delta::from_gap(3).get(), 3);
+    }
+
+    #[test]
+    fn new_entries_need_a_second_sighting_to_predict() {
+        let mut s = seq(&[(1, 0), (2, 0)]);
+        assert_eq!(s.predicted().count(), 0);
+        s.retrain(&seq(&[(1, 0)]));
+        let predicted: Vec<u8> = s.predicted().map(|e| e.offset.get()).collect();
+        assert_eq!(predicted, [1]);
+    }
+
+    #[test]
+    fn retrain_increments_shared_and_decays_absent() {
+        let mut stored = seq(&[(1, 0), (2, 3), (3, 0)]);
+        let observed = seq(&[(2, 1), (1, 0)]);
+        stored.retrain(&observed);
+        // Order adopts the new observation; offset 3 decayed out.
+        let order: Vec<u8> = stored.iter().map(|e| e.offset.get()).collect();
+        assert_eq!(order, [2, 1]);
+        // Shared offsets got incremented (1 -> 2), delta updated.
+        let e2 = stored.get(BlockOffset::new(2)).unwrap();
+        assert_eq!(e2.counter.get(), 2);
+        assert_eq!(e2.delta.get(), 1);
+        // Absent offset decayed to zero and was dropped.
+        assert!(stored.get(BlockOffset::new(3)).is_none());
+        assert!(!stored.predicted_pattern().contains(BlockOffset::new(3)));
+    }
+
+    #[test]
+    fn retrain_drops_entries_that_reach_zero() {
+        let mut stored = seq(&[(5, 0)]);
+        stored.retrain(&seq(&[(5, 0)])); // 5 reinforced to 2
+        let empty_obs = seq(&[(6, 0)]);
+        stored.retrain(&empty_obs); // 5 decays to 1
+        stored.retrain(&empty_obs); // 5 decays to 0 and is dropped
+        assert!(!stored.contains(BlockOffset::new(5)));
+        assert!(stored.contains(BlockOffset::new(6)));
+    }
+
+    #[test]
+    fn hysteresis_keeps_stable_block_predicted_through_one_glitch() {
+        let mut stored = seq(&[(7, 0)]);
+        // Reinforce to saturation.
+        stored.retrain(&seq(&[(7, 0)]));
+        stored.retrain(&seq(&[(7, 0)]));
+        assert!(stored.get(BlockOffset::new(7)).unwrap().counter.is_saturated());
+        // One glitch: still predicted.
+        stored.retrain(&seq(&[(8, 0)]));
+        assert!(stored.predicted_pattern().contains(BlockOffset::new(7)));
+        // Second glitch: no longer predicted.
+        stored.retrain(&seq(&[(8, 0)]));
+        assert!(!stored.predicted_pattern().contains(BlockOffset::new(7)));
+    }
+
+    #[test]
+    fn pattern_matches_contents() {
+        let s = seq(&[(0, 0), (9, 2)]);
+        let p = s.pattern();
+        assert!(p.contains(BlockOffset::new(0)));
+        assert!(p.contains(BlockOffset::new(9)));
+        assert_eq!(p.count(), 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared building blocks for the synthetic workload generators.
+//!
+//! All generators express their memory behaviour as a stream of
+//! [`Visit`]s — one spatial-region episode each (a page touched by a
+//! transaction step, a grid tile of a sweep, a graph node...). The
+//! [`Interleaver`] merges consecutive visits into a single global access
+//! order with bounded overlap, reproducing the paper's observation that
+//! several spatial generations are live at once with their accesses
+//! interleaved (Section 3.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+use stems_trace::{Access, AccessKind, Dependence, Trace};
+use stems_types::{Addr, BlockOffset, Pc, RegionAddr};
+
+/// One access within a visit.
+#[derive(Clone, Copy, Debug)]
+pub struct VisitAccess {
+    /// Block offset within the visit's region.
+    pub offset: u8,
+    /// PC of the access instruction.
+    pub pc: u64,
+    /// Store instead of load.
+    pub write: bool,
+    /// Non-memory instructions preceding this access.
+    pub work: u16,
+}
+
+/// One spatial-region episode.
+#[derive(Clone, Debug)]
+pub struct Visit {
+    /// The region visited.
+    pub region: RegionAddr,
+    /// Accesses in intended order (offsets may repeat blocks).
+    pub accesses: Vec<VisitAccess>,
+    /// Whether the visit's first access depends on the previous access
+    /// (pointer chase: the region's address was loaded from memory).
+    pub dependent: bool,
+}
+
+impl Visit {
+    /// Creates a visit to `region` from `(offset, pc)` pairs with uniform
+    /// `work` and no writes.
+    pub fn simple(region: RegionAddr, parts: &[(u8, u64)], work: u16) -> Self {
+        Visit {
+            region,
+            accesses: parts
+                .iter()
+                .map(|&(offset, pc)| VisitAccess {
+                    offset,
+                    pc,
+                    write: false,
+                    work,
+                })
+                .collect(),
+            dependent: false,
+        }
+    }
+
+    /// Marks the visit as pointer-chased.
+    pub fn chained(mut self) -> Self {
+        self.dependent = true;
+        self
+    }
+}
+
+/// Deterministically scatters an index over a region space of
+/// `space_regions`, so logically consecutive entities live at unrelated
+/// physical regions (buffer-pool page placement, Section 3).
+pub fn scatter(index: u64, salt: u64, space_regions: u64) -> RegionAddr {
+    RegionAddr::new(splitmix(index.wrapping_add(salt.wrapping_mul(0x9E37_79B9))) % space_regions)
+}
+
+/// SplitMix64 — a fixed-point-free deterministic scrambler.
+pub fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Merges a visit stream into a trace with up to `window` visits live at
+/// once. Each step, the front visit continues with probability
+/// `1 - mix`; otherwise a later live visit advances, interleaving the
+/// generations. `window == 1` preserves visit order exactly.
+pub struct Interleaver {
+    window: usize,
+    /// Probability of deferring to a later live visit at each step.
+    mix: f64,
+}
+
+impl Interleaver {
+    /// Creates an interleaver with `window` live visits and `mix`
+    /// interleave probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize, mix: f64) -> Self {
+        assert!(window > 0, "interleave window must be nonzero");
+        Interleaver { window, mix }
+    }
+
+    /// Emits `visits` into `trace`, consuming the iterator.
+    pub fn emit<I: IntoIterator<Item = Visit>>(
+        &self,
+        visits: I,
+        rng: &mut StdRng,
+        trace: &mut Trace,
+    ) {
+        let mut source = visits.into_iter();
+        let mut live: VecDeque<(Visit, usize, bool)> = VecDeque::new(); // (visit, next_idx, started)
+        loop {
+            while live.len() < self.window {
+                match source.next() {
+                    Some(v) if !v.accesses.is_empty() => live.push_back((v, 0, false)),
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            if live.is_empty() {
+                break;
+            }
+            // Pick which live visit advances: geometric preference for the
+            // oldest so global order roughly follows visit order.
+            let mut idx = 0;
+            while idx + 1 < live.len() && rng.gen_bool(self.mix) {
+                idx += 1;
+            }
+            let (visit, cursor, started) = &mut live[idx];
+            let acc = visit.accesses[*cursor];
+            let dep = if !*started && visit.dependent {
+                Dependence::OnPrevAccess
+            } else {
+                Dependence::Independent
+            };
+            *started = true;
+            let addr = Addr::new(
+                visit
+                    .region
+                    .block_at(BlockOffset::new(acc.offset))
+                    .base()
+                    .get(),
+            );
+            trace.push(Access {
+                pc: Pc::new(acc.pc),
+                addr,
+                kind: if acc.write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                dep,
+                work_before: acc.work,
+            });
+            *cursor += 1;
+            if *cursor == visit.accesses.len() {
+                live.remove(idx);
+            }
+        }
+    }
+}
+
+/// Creates the deterministic RNG used by every generator.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn visit(region: u64, n: u8) -> Visit {
+        Visit::simple(
+            RegionAddr::new(region),
+            &(0..n).map(|o| (o, 0x400 + o as u64)).collect::<Vec<_>>(),
+            3,
+        )
+    }
+
+    #[test]
+    fn window_one_preserves_order() {
+        let mut t = Trace::new();
+        let mut r = rng(1);
+        Interleaver::new(1, 0.5).emit(vec![visit(1, 3), visit(2, 2)], &mut r, &mut t);
+        let regions: Vec<u64> = t.iter().map(|a| a.addr.region().get()).collect();
+        assert_eq!(regions, [1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn interleaving_mixes_but_preserves_within_region_order() {
+        let mut t = Trace::new();
+        let mut r = rng(7);
+        Interleaver::new(3, 0.5).emit(
+            (0..20).map(|i| visit(i, 4)).collect::<Vec<_>>(),
+            &mut r,
+            &mut t,
+        );
+        assert_eq!(t.len(), 80);
+        // Within each region the offsets must appear in order.
+        use std::collections::HashMap;
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        let mut interleaved = false;
+        let mut prev_region = u64::MAX;
+        for a in t.iter() {
+            let region = a.addr.region().get();
+            let off = a.addr.block().offset_in_region().get() as u64;
+            if let Some(&l) = last.get(&region) {
+                assert!(off > l, "within-visit order violated");
+            }
+            last.insert(region, off);
+            if prev_region != u64::MAX && region != prev_region && last.contains_key(&region) {
+                interleaved = true;
+            }
+            prev_region = region;
+        }
+        assert!(interleaved, "expected some interleaving at window 3");
+    }
+
+    #[test]
+    fn dependence_marks_only_first_access_of_chained_visit() {
+        let mut t = Trace::new();
+        let mut r = rng(3);
+        let v = visit(5, 3).chained();
+        Interleaver::new(1, 0.0).emit(vec![v], &mut r, &mut t);
+        let deps: Vec<Dependence> = t.iter().map(|a| a.dep).collect();
+        assert_eq!(
+            deps,
+            [
+                Dependence::OnPrevAccess,
+                Dependence::Independent,
+                Dependence::Independent
+            ]
+        );
+    }
+
+    #[test]
+    fn scatter_is_deterministic_and_in_range() {
+        let a = scatter(42, 7, 1000);
+        let b = scatter(42, 7, 1000);
+        assert_eq!(a, b);
+        for i in 0..100 {
+            assert!(scatter(i, 3, 64).get() < 64);
+        }
+    }
+
+    #[test]
+    fn empty_visits_are_skipped() {
+        let mut t = Trace::new();
+        let mut r = rng(1);
+        let empty = Visit {
+            region: RegionAddr::new(1),
+            accesses: vec![],
+            dependent: false,
+        };
+        Interleaver::new(2, 0.3).emit(vec![empty, visit(2, 2)], &mut r, &mut t);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the workload generators and interleaver.
+
+use proptest::prelude::*;
+
+use stems_trace::Trace;
+use stems_workloads::build::{rng, Interleaver, Visit};
+use stems_workloads::Workload;
+use stems_types::RegionAddr;
+
+fn visit(region: u64, len: u8) -> Visit {
+    let parts: Vec<(u8, u64)> = (0..len.clamp(1, 31)).map(|o| (o, 0x400)).collect();
+    Visit::simple(RegionAddr::new(region), &parts, 2)
+}
+
+proptest! {
+    /// The interleaver is a permutation-with-order-preservation: the
+    /// output contains exactly the input accesses, and each visit's
+    /// accesses appear in their original relative order.
+    #[test]
+    fn interleaver_preserves_multiset_and_visit_order(
+        lens in proptest::collection::vec(1u8..6, 1..40),
+        window in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let visits: Vec<Visit> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| visit(i as u64, l))
+            .collect();
+        let expected: usize = visits.iter().map(|v| v.accesses.len()).sum();
+        let mut trace = Trace::new();
+        let mut r = rng(seed);
+        Interleaver::new(window, 0.4).emit(visits, &mut r, &mut trace);
+        prop_assert_eq!(trace.len(), expected);
+        // Per-region offsets must be strictly increasing (original order).
+        let mut last: std::collections::HashMap<u64, i32> =
+            std::collections::HashMap::new();
+        for a in trace.iter() {
+            let region = a.addr.region().get();
+            let off = a.addr.block().offset_in_region().get() as i32;
+            let prev = last.insert(region, off).unwrap_or(-1);
+            prop_assert!(off > prev, "visit-internal order violated");
+        }
+    }
+
+    /// Every workload generator is a pure function of (scale, seed), and
+    /// different seeds produce different traces.
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..500) {
+        for w in [Workload::Db2, Workload::Qry16, Workload::Sparse] {
+            let a = w.generate_scaled(0.003, seed);
+            let b = w.generate_scaled(0.003, seed);
+            prop_assert_eq!(a.as_slice().len(), b.as_slice().len());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Traces are well-formed: nonempty, block-aligned addresses, and
+    /// dependence flags only on reads or writes that exist.
+    #[test]
+    fn traces_are_well_formed(seed in 0u64..200) {
+        let t = Workload::Apache.generate_scaled(0.004, seed);
+        prop_assert!(!t.is_empty());
+        for a in t.iter() {
+            prop_assert_eq!(a.addr.get() % 64, 0, "generators emit block-aligned addresses");
+        }
+        let stats = t.stats();
+        prop_assert!(stats.read_fraction() > 0.5);
+        prop_assert!(stats.unique_regions > 1);
+    }
+}
+
+/// The footprint scaling knob actually scales footprints.
+#[test]
+fn scaling_shrinks_footprints() {
+    let small = Workload::Ocean.generate_scaled(0.01, 1).stats();
+    let large = Workload::Ocean.generate_scaled(0.05, 1).stats();
+    assert!(large.unique_blocks > 3 * small.unique_blocks);
+}

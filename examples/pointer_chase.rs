@@ -1,0 +1,80 @@
+//! Pointer chasing and memory-level parallelism: why temporal streaming
+//! gives multi-x speedups on em3d-like kernels (Section 5.6).
+//!
+//! A dependent-miss chain serializes at one off-chip latency per node;
+//! a temporal stream fetches the chain's future nodes in parallel. This
+//! example times both with the ROB-window timing model.
+//!
+//! ```sh
+//! cargo run --release --example pointer_chase
+//! ```
+
+use stems::core::engine::NullPrefetcher;
+use stems::core::{PrefetchConfig, StemsPrefetcher, TmsPrefetcher};
+use stems::memsim::SystemConfig;
+use stems::timing::{time_trace, TimingParams};
+use stems::trace::{Access, Dependence, Trace};
+use stems::types::{Addr, Pc};
+
+/// A linked-list walk over `nodes` scattered nodes, repeated `laps`
+/// times; every access depends on the previous one.
+fn chase(nodes: u64, laps: usize) -> Trace {
+    let mut t = Trace::new();
+    for _ in 0..laps {
+        for i in 0..nodes {
+            let addr = Addr::new(((i * 7919 + 3) % (nodes * 4)) * (1 << 21));
+            t.push(
+                Access::read(Pc::new(0x600), addr)
+                    .with_dep(Dependence::OnPrevAccess)
+                    .with_work(16),
+            );
+        }
+    }
+    t
+}
+
+fn main() {
+    let sys = SystemConfig::small();
+    let cfg = PrefetchConfig::scientific();
+    let params = TimingParams::from_system(&sys);
+    let trace = chase(2048, 4);
+
+    let base = time_trace(&sys, &cfg, &params, NullPrefetcher, &trace, None);
+    let tms = time_trace(
+        &sys,
+        &cfg,
+        &params,
+        TmsPrefetcher::new(&cfg),
+        &trace,
+        None,
+    );
+    let stems = time_trace(
+        &sys,
+        &cfg,
+        &params,
+        StemsPrefetcher::new(&cfg),
+        &trace,
+        None,
+    );
+
+    println!("pointer chase: 2048-node list, 4 laps, every miss dependent");
+    println!(
+        "{:<10} {:>12} {:>8} {:>10}",
+        "", "cycles", "IPC", "speedup"
+    );
+    for (name, r) in [("baseline", &base), ("TMS", &tms), ("STeMS", &stems)] {
+        println!(
+            "{:<10} {:>12} {:>8.3} {:>9.2}x",
+            name,
+            r.cycles,
+            r.ipc(),
+            r.speedup_over(&base)
+        );
+    }
+    println!(
+        "\nthe chain serializes at ~{} cycles per node in the baseline; the \
+         stream's lookahead of {} overlaps that many fetches, so the chase \
+         runs at roughly the off-chip latency divided by the lookahead.",
+        params.offchip_latency, cfg.lookahead
+    );
+}
