@@ -83,21 +83,20 @@ pub fn filter_trace(trace: &Trace, system: &SystemConfig) -> FilterOutput {
     let mut pht: HashMap<u64, SpatialPattern> = HashMap::new();
     let mut out = FilterOutput::default();
 
-    let end_generation =
-        |agt: &mut LruTable<RegionAddr, GenState>,
-         pht: &mut HashMap<u64, SpatialPattern>,
-         out: &mut FilterOutput,
-         region: RegionAddr| {
-            if let Some(gen) = agt.remove(&region) {
-                pht.insert(gen.index, gen.touched);
-                if !gen.offsets.is_empty() {
-                    out.generations.push(GenerationRecord {
-                        index: gen.index,
-                        offsets: gen.offsets,
-                    });
-                }
+    let end_generation = |agt: &mut LruTable<RegionAddr, GenState>,
+                          pht: &mut HashMap<u64, SpatialPattern>,
+                          out: &mut FilterOutput,
+                          region: RegionAddr| {
+        if let Some(gen) = agt.remove(&region) {
+            pht.insert(gen.index, gen.touched);
+            if !gen.offsets.is_empty() {
+                out.generations.push(GenerationRecord {
+                    index: gen.index,
+                    offsets: gen.offsets,
+                });
             }
-        };
+        }
+    };
 
     for access in trace.iter() {
         let block = access.addr.block();
@@ -152,8 +151,7 @@ pub fn filter_trace(trace: &Trace, system: &SystemConfig) -> FilterOutput {
             gen.had_miss = true;
             // SMS covers pattern blocks other than the one that began the
             // generation (nothing is in flight for the first access).
-            let sms_predictable =
-                gen.predicted.contains(offset) && gen.first_access_block != block;
+            let sms_predictable = gen.predicted.contains(offset) && gen.first_access_block != block;
             out.misses.push(MissRecord {
                 pc: access.pc,
                 block,
@@ -211,9 +209,11 @@ mod tests {
         assert!(offset4.len() >= 10);
         assert!(!offset4[0].sms_predictable, "nothing learned yet");
         assert!(offset4[5].sms_predictable);
-        assert!(out.misses.iter().filter(|m| m.trigger).all(|m| {
-            m.block.offset_in_region().get() != 4 || !m.sms_predictable
-        }));
+        assert!(out
+            .misses
+            .iter()
+            .filter(|m| m.trigger)
+            .all(|m| { m.block.offset_in_region().get() != 4 || !m.sms_predictable }));
     }
 
     #[test]
@@ -222,7 +222,7 @@ mod tests {
         let base = 1 << 30;
         t.read(0x1, base + 3 * 64);
         t.read(0x2, base + 9 * 64);
-        t.read(0x3, base + 1 * 64);
+        t.read(0x3, base + 64);
         t.read(0x3, base + 9 * 64); // re-touch: not recorded twice
         let out = filter_trace(&t, &sys());
         assert_eq!(out.generations.len(), 1);

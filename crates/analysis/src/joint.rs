@@ -104,8 +104,10 @@ mod tests {
     fn repeated_pair_sequence_is_temporal() {
         // Sequence abc abc: second occurrence of b and c follows known
         // successors.
-        let misses: Vec<MissRecord> =
-            [1u64, 2, 3, 1, 2, 3].iter().map(|&b| miss(b, false)).collect();
+        let misses: Vec<MissRecord> = [1u64, 2, 3, 1, 2, 3]
+            .iter()
+            .map(|&b| miss(b, false))
+            .collect();
         let out = joint_analysis(&misses);
         assert_eq!(out.tms_only, 2); // the second b and c
         assert_eq!(out.neither, 4);
@@ -129,8 +131,7 @@ mod tests {
 
     #[test]
     fn both_requires_both_signals() {
-        let misses: Vec<MissRecord> =
-            [1u64, 2, 1, 2].iter().map(|&b| miss(b, true)).collect();
+        let misses: Vec<MissRecord> = [1u64, 2, 1, 2].iter().map(|&b| miss(b, true)).collect();
         let out = joint_analysis(&misses);
         // Miss 3 (block 2) is temporally predicted (1->2 seen) and SMS-
         // annotated.

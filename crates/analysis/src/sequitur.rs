@@ -555,7 +555,9 @@ mod tests {
         let mut x = 0x12345u64;
         let input: Vec<u64> = (0..3000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % 40 // small alphabet -> plenty of repetition
             })
             .collect();

@@ -13,13 +13,12 @@ fn settings() -> Settings {
     Settings {
         scale: SCALE,
         seed: 2009,
+        threads: 0,
     }
 }
 
 fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_parameters", |b| {
-        b.iter(|| figs::table1(settings()))
-    });
+    c.bench_function("table1_parameters", |b| b.iter(|| figs::table1(settings())));
 }
 
 fn bench_fig6(c: &mut Criterion) {
@@ -29,7 +28,9 @@ fn bench_fig6(c: &mut Criterion) {
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_sequitur_repetition", |b| b.iter(|| figs::fig7(settings())));
+    c.bench_function("fig7_sequitur_repetition", |b| {
+        b.iter(|| figs::fig7(settings()))
+    });
 }
 
 fn bench_fig8(c: &mut Criterion) {

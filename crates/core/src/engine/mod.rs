@@ -21,7 +21,7 @@
 mod sim;
 mod svb;
 
-pub use sim::{CoverageSim, Counters, InvalidationInjector, StepOutcome};
+pub use sim::{Counters, CoverageSim, InvalidationInjector, StepOutcome};
 pub use svb::Svb;
 
 use stems_types::{BlockAddr, Pc};

@@ -1,10 +1,8 @@
 //! The coverage simulator: caches + SVB + prefetcher over a trace.
 
-use std::collections::HashSet;
-
 use stems_memsim::{Hierarchy, Level, SystemConfig};
 use stems_trace::{Access, Trace};
-use stems_types::BlockAddr;
+use stems_types::{BlockAddr, FetchList, FxHashSet};
 
 use crate::util::XorShift64;
 
@@ -75,23 +73,27 @@ pub struct InvalidationInjector {
     cursor: usize,
 }
 
+/// Recently-touched blocks the injector picks victims from. Must stay a
+/// power of two: `observe` wraps the cursor with a mask, not a modulo.
+const RECENT_CAPACITY: usize = 1024;
+
 impl InvalidationInjector {
     /// Creates an injector firing with probability `rate` per access.
     pub fn new(rate: f64, seed: u64) -> Self {
         InvalidationInjector {
             rate,
             rng: XorShift64::new(seed),
-            recent: Vec::with_capacity(1024),
+            recent: Vec::with_capacity(RECENT_CAPACITY),
             cursor: 0,
         }
     }
 
     fn observe(&mut self, block: BlockAddr) {
-        if self.recent.len() < 1024 {
+        if self.recent.len() < RECENT_CAPACITY {
             self.recent.push(block);
         } else {
             self.recent[self.cursor] = block;
-            self.cursor = (self.cursor + 1) % 1024;
+            self.cursor = (self.cursor + 1) & (RECENT_CAPACITY - 1);
         }
     }
 
@@ -114,8 +116,10 @@ pub struct StepOutcome {
     /// Whether it was satisfied by a previously prefetched block (an SVB
     /// hit, or the first touch of an SMS-style L1 prefetch).
     pub prefetched_hit: bool,
-    /// Blocks fetched from off-chip by the prefetcher during this step.
-    pub fetched: Vec<BlockAddr>,
+    /// Blocks fetched from off-chip by the prefetcher during this step,
+    /// inline up to [`FetchList`]'s capacity so the common case performs
+    /// no heap allocation.
+    pub fetched: FetchList,
 }
 
 /// Trace-driven simulator of one node: L1/L2 hierarchy, SVB, and a
@@ -140,26 +144,36 @@ pub struct StepOutcome {
 pub struct CoverageSim<P> {
     hierarchy: Hierarchy,
     svb: Svb,
-    l1_prefetched_unused: HashSet<BlockAddr>,
+    l1_prefetched_unused: FxHashSet<BlockAddr>,
     counters: Counters,
     prefetcher: P,
     injector: Option<InvalidationInjector>,
+    scratch: StepScratch,
+}
+
+/// Buffers reused across [`CoverageSim::step`] calls so the per-access
+/// path performs no heap allocation in steady state: each step drains
+/// them but keeps their capacity.
+#[derive(Debug, Default)]
+struct StepScratch {
+    l1_evicted: Vec<BlockAddr>,
+    svb_evictions: Vec<(BlockAddr, StreamTag)>,
+    l1_evictions: Vec<BlockAddr>,
 }
 
 struct EngineSink<'a> {
     hierarchy: &'a mut Hierarchy,
     svb: &'a mut Svb,
-    l1_prefetched_unused: &'a mut HashSet<BlockAddr>,
+    l1_prefetched_unused: &'a mut FxHashSet<BlockAddr>,
     counters: &'a mut Counters,
-    svb_evictions: Vec<(BlockAddr, StreamTag)>,
-    l1_evictions: Vec<BlockAddr>,
-    fetched: Vec<BlockAddr>,
+    svb_evictions: &'a mut Vec<(BlockAddr, StreamTag)>,
+    l1_evictions: &'a mut Vec<BlockAddr>,
+    fetched: FetchList,
 }
 
 impl PrefetchSink for EngineSink<'_> {
     fn fetch_svb(&mut self, block: BlockAddr, tag: StreamTag) -> bool {
-        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) || self.svb.contains(block)
-        {
+        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) || self.svb.contains(block) {
             return false;
         }
         self.counters.fetches += 1;
@@ -172,25 +186,25 @@ impl PrefetchSink for EngineSink<'_> {
     }
 
     fn fetch_l1(&mut self, block: BlockAddr) -> bool {
-        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) || self.svb.contains(block)
-        {
+        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) || self.svb.contains(block) {
             return false;
         }
         self.counters.fetches += 1;
         self.fetched.push(block);
         self.l1_prefetched_unused.insert(block);
-        for evicted in self.hierarchy.fill(block) {
+        let start = self.l1_evictions.len();
+        self.hierarchy.fill_into(block, self.l1_evictions);
+        for i in start..self.l1_evictions.len() {
+            let evicted = self.l1_evictions[i];
             if self.l1_prefetched_unused.remove(&evicted) {
                 self.counters.overpredictions += 1;
             }
-            self.l1_evictions.push(evicted);
         }
         true
     }
 
     fn flush_stream(&mut self, tag: StreamTag) {
-        let flushed = self.svb.flush_tag(tag);
-        self.counters.overpredictions += flushed.len() as u64;
+        self.counters.overpredictions += self.svb.flush_tag(tag) as u64;
     }
 
     fn in_l1(&self, block: BlockAddr) -> bool {
@@ -208,18 +222,15 @@ impl PrefetchSink for EngineSink<'_> {
 
 impl<P: Prefetcher> CoverageSim<P> {
     /// Creates a simulator with empty caches.
-    pub fn new(
-        system: &SystemConfig,
-        prefetch: &crate::PrefetchConfig,
-        prefetcher: P,
-    ) -> Self {
+    pub fn new(system: &SystemConfig, prefetch: &crate::PrefetchConfig, prefetcher: P) -> Self {
         CoverageSim {
             hierarchy: Hierarchy::new(system),
             svb: Svb::new(prefetch.svb_entries),
-            l1_prefetched_unused: HashSet::new(),
+            l1_prefetched_unused: stems_types::fx_set_with_capacity(prefetch.svb_entries.max(64)),
             counters: Counters::default(),
             prefetcher,
             injector: None,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -259,10 +270,11 @@ impl<P: Prefetcher> CoverageSim<P> {
             inj.observe(block);
         }
 
-        let mut l1_evicted: Vec<BlockAddr> = Vec::new();
+        self.scratch.l1_evicted.clear();
         let mut prefetched_hit = false;
-        let satisfied = if self.hierarchy.in_l1(block) {
-            self.hierarchy.access(block, is_write);
+        // One L1 set scan resolves the hit case; misses continue through
+        // the SVB and the lower levels, appending evictions to scratch.
+        let satisfied = if self.hierarchy.access_l1_hit(block, is_write) {
             self.counters.l1_hits += 1;
             if self.l1_prefetched_unused.remove(&block) {
                 prefetched_hit = true;
@@ -278,12 +290,14 @@ impl<P: Prefetcher> CoverageSim<P> {
             if access.is_read() {
                 self.counters.covered += 1;
             }
-            l1_evicted.extend(self.hierarchy.fill(block));
+            self.hierarchy
+                .fill_into(block, &mut self.scratch.l1_evicted);
             Satisfied::Svb(tag)
         } else {
-            let out = self.hierarchy.access(block, is_write);
-            l1_evicted.extend(out.l1_evicted);
-            match out.level {
+            let level =
+                self.hierarchy
+                    .access_after_l1_miss(block, is_write, &mut self.scratch.l1_evicted);
+            match level {
                 Level::L2 => {
                     self.counters.l2_hits += 1;
                     Satisfied::L2
@@ -296,11 +310,12 @@ impl<P: Prefetcher> CoverageSim<P> {
                     }
                     Satisfied::OffChip
                 }
-                Level::L1 => unreachable!("in_l1 was checked above"),
+                Level::L1 => unreachable!("the L1 probe above missed"),
             }
         };
 
-        for &b in &l1_evicted {
+        for i in 0..self.scratch.l1_evicted.len() {
+            let b = self.scratch.l1_evicted[i];
             if self.l1_prefetched_unused.remove(&b) {
                 self.counters.overpredictions += 1;
             }
@@ -318,23 +333,22 @@ impl<P: Prefetcher> CoverageSim<P> {
             svb: &mut self.svb,
             l1_prefetched_unused: &mut self.l1_prefetched_unused,
             counters: &mut self.counters,
-            svb_evictions: Vec::new(),
-            l1_evictions: Vec::new(),
-            fetched: Vec::new(),
+            svb_evictions: &mut self.scratch.svb_evictions,
+            l1_evictions: &mut self.scratch.l1_evictions,
+            fetched: FetchList::new(),
         };
         self.prefetcher.on_access(&ev, &mut sink);
-        let EngineSink {
-            svb_evictions,
-            l1_evictions,
-            fetched,
-            ..
-        } = sink;
-        for (b, t) in svb_evictions {
+        let fetched = sink.fetched;
+        for i in 0..self.scratch.svb_evictions.len() {
+            let (b, t) = self.scratch.svb_evictions[i];
             self.prefetcher.on_svb_evict(b, t);
         }
-        for b in l1_evictions {
+        self.scratch.svb_evictions.clear();
+        for i in 0..self.scratch.l1_evictions.len() {
+            let b = self.scratch.l1_evictions[i];
             self.prefetcher.on_l1_evict(b, EvictKind::Replacement);
         }
+        self.scratch.l1_evictions.clear();
         StepOutcome {
             satisfied,
             prefetched_hit,
@@ -365,8 +379,7 @@ impl<P: Prefetcher> CoverageSim<P> {
     /// Counts blocks still sitting unconsumed in the SVB or tagged in the
     /// L1 as overpredictions. Call once at end of run.
     pub fn finalize(&mut self) -> Counters {
-        let stranded = self.svb.drain_all();
-        self.counters.overpredictions += stranded.len() as u64;
+        self.counters.overpredictions += self.svb.drain_all() as u64;
         self.counters.overpredictions += self.l1_prefetched_unused.len() as u64;
         self.l1_prefetched_unused.clear();
         self.counters
@@ -482,14 +495,129 @@ mod tests {
         assert_eq!(c.coverage_vs(0), 0.0);
     }
 
+    /// A deterministic synthetic trace mixing spatial region walks,
+    /// recurring pointer-chase sequences, writes, and noise — enough to
+    /// exercise every predictor's hot path.
+    fn golden_trace() -> Trace {
+        let mut t = Trace::new();
+        let mut rng = XorShift64::new(0xD1CE);
+        for _rep in 0..3 {
+            for _visit in 0..400u64 {
+                let region = rng.below(64);
+                let len = 1 + rng.below(6);
+                let stride = 1 + region % 3;
+                for k in 0..len {
+                    let off = (k * stride) % 32;
+                    let addr = region * 2048 + off * 64 + rng.below(2) * 8;
+                    let pc = 0x400 + (region % 7) * 4;
+                    if rng.chance(0.2) {
+                        t.write(pc, addr);
+                    } else {
+                        t.read(pc, addr);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Golden counters for every predictor over [`golden_trace`]: guards
+    /// the zero-allocation step path (and any engine refactor) against
+    /// behavioral drift. Regenerate by running with `--nocapture` and
+    /// copying the printed values.
+    #[test]
+    fn golden_counters_are_stable() {
+        use crate::{NaiveHybrid, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher};
+
+        let trace = golden_trace();
+        let sys = sys();
+        let cfg = cfg();
+        let golden: [(&str, Counters); 6] = [
+            ("none", {
+                CoverageSim::new(&sys, &cfg, NullPrefetcher)
+                    .with_invalidations(0.01, 42)
+                    .run(&trace)
+            }),
+            ("stride", {
+                CoverageSim::new(&sys, &cfg, StridePrefetcher::new(&cfg))
+                    .with_invalidations(0.01, 42)
+                    .run(&trace)
+            }),
+            ("tms", {
+                CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg))
+                    .with_invalidations(0.01, 42)
+                    .run(&trace)
+            }),
+            ("sms", {
+                CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg))
+                    .with_invalidations(0.01, 42)
+                    .run(&trace)
+            }),
+            ("stems", {
+                CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg))
+                    .with_invalidations(0.01, 42)
+                    .run(&trace)
+            }),
+            ("naive", {
+                CoverageSim::new(&sys, &cfg, NaiveHybrid::new(&cfg))
+                    .with_invalidations(0.01, 42)
+                    .run(&trace)
+            }),
+        ];
+        for (name, c) in &golden {
+            println!(
+                "(\"{name}\", [{}, {}, {}, {}, {}, {}, {}, {}, {}, {}]),",
+                c.accesses,
+                c.reads,
+                c.l1_hits,
+                c.l2_hits,
+                c.covered,
+                c.uncovered,
+                c.overpredictions,
+                c.fetches,
+                c.offchip_writes,
+                c.invalidations
+            );
+        }
+        let expected: [(&str, [u64; 10]); 6] = [
+            ("none", [4088, 3237, 183, 2562, 0, 1056, 0, 0, 287, 39]),
+            (
+                "stride",
+                [4088, 3237, 183, 2562, 66, 990, 295, 377, 271, 39],
+            ),
+            ("tms", [4088, 3237, 183, 2562, 86, 970, 653, 758, 268, 39]),
+            ("sms", [4088, 3237, 401, 2289, 193, 1095, 574, 813, 303, 39]),
+            ("stems", [4088, 3237, 183, 2562, 99, 957, 741, 865, 262, 39]),
+            (
+                "naive",
+                [4088, 3237, 183, 2562, 169, 887, 1363, 1577, 242, 39],
+            ),
+        ];
+        for ((name, c), (ename, e)) in golden.iter().zip(expected.iter()) {
+            assert_eq!(name, ename);
+            let got = [
+                c.accesses,
+                c.reads,
+                c.l1_hits,
+                c.l2_hits,
+                c.covered,
+                c.uncovered,
+                c.overpredictions,
+                c.fetches,
+                c.offchip_writes,
+                c.invalidations,
+            ];
+            assert_eq!(&got, e, "{name}: counters drifted from golden values");
+        }
+    }
+
     #[test]
     fn invalidation_injection_invalidates_and_counts() {
         let mut t = Trace::new();
         for i in 0..2000u64 {
             t.read(1, (i % 16) * 64);
         }
-        let mut sim =
-            CoverageSim::new(&sys(), &cfg(), NullPrefetcher).with_invalidations(0.05, 7);
+        let mut sim = CoverageSim::new(&sys(), &cfg(), NullPrefetcher).with_invalidations(0.05, 7);
         let c = sim.run(&t);
         assert!(c.invalidations > 0);
         // Invalidations force re-misses of the 16-block working set.

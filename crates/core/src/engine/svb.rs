@@ -4,9 +4,9 @@
 //! prefetched blocks next to the L1. Blocks move to the L1 when consumed;
 //! capacity evictions are FIFO and count as overpredictions at the engine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use stems_types::BlockAddr;
+use stems_types::{fx_map_with_capacity, BlockAddr, FxHashMap};
 
 use super::StreamTag;
 
@@ -15,7 +15,11 @@ use super::StreamTag;
 pub struct Svb {
     capacity: usize,
     fifo: VecDeque<(BlockAddr, StreamTag)>,
-    index: HashMap<BlockAddr, StreamTag>,
+    index: FxHashMap<BlockAddr, StreamTag>,
+    /// Resident blocks per stream tag: lets `flush_tag` skip the index
+    /// scan entirely when the victimized stream has nothing in flight —
+    /// the common case on every stream start.
+    per_tag: [u32; 256],
 }
 
 impl Svb {
@@ -29,7 +33,8 @@ impl Svb {
         Svb {
             capacity,
             fifo: VecDeque::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: fx_map_with_capacity(capacity),
+            per_tag: [0; 256],
         }
     }
 
@@ -58,13 +63,15 @@ impl Svb {
         if self.index.len() == self.capacity {
             // Oldest entry still resident (lazy deletion: skip stale).
             while let Some((b, t)) = self.fifo.pop_front() {
-                if self.index.remove(&b).is_some() {
+                if let Some(vt) = self.index.remove(&b) {
+                    self.per_tag[vt.0 as usize] -= 1;
                     evicted = Some((b, t));
                     break;
                 }
             }
         }
         self.index.insert(block, tag);
+        self.per_tag[tag.0 as usize] += 1;
         self.fifo.push_back((block, tag));
         evicted
     }
@@ -72,29 +79,36 @@ impl Svb {
     /// Consumes `block` (prefetch hit), returning its stream tag.
     pub fn take(&mut self, block: BlockAddr) -> Option<StreamTag> {
         // FIFO entry is removed lazily on rotation.
-        self.index.remove(&block)
+        let tag = self.index.remove(&block)?;
+        self.per_tag[tag.0 as usize] -= 1;
+        Some(tag)
     }
 
-    /// Removes every block owned by `tag`, returning them (stream
-    /// reallocation flush).
-    pub fn flush_tag(&mut self, tag: StreamTag) -> Vec<BlockAddr> {
-        let victims: Vec<BlockAddr> = self
-            .index
-            .iter()
-            .filter(|&(_, &t)| t == tag)
-            .map(|(&b, _)| b)
-            .collect();
-        for b in &victims {
-            self.index.remove(b);
+    /// Removes every block owned by `tag`, returning how many were
+    /// dropped (stream reallocation flush; callers only account counts).
+    pub fn flush_tag(&mut self, tag: StreamTag) -> usize {
+        if self.per_tag[tag.0 as usize] == 0 {
+            return 0;
         }
-        victims
+        let before = self.index.len();
+        self.index.retain(|_, &mut t| t != tag);
+        let removed = before - self.index.len();
+        debug_assert_eq!(
+            removed, self.per_tag[tag.0 as usize] as usize,
+            "per-tag count out of sync with index"
+        );
+        self.per_tag[tag.0 as usize] = 0;
+        removed
     }
 
-    /// Removes all blocks, returning `(block, tag)` pairs (end-of-run
+    /// Removes all blocks, returning how many were resident (end-of-run
     /// accounting of never-consumed prefetches).
-    pub fn drain_all(&mut self) -> Vec<(BlockAddr, StreamTag)> {
+    pub fn drain_all(&mut self) -> usize {
+        let count = self.index.len();
         self.fifo.clear();
-        self.index.drain().collect()
+        self.index.clear();
+        self.per_tag = [0; 256];
+        count
     }
 }
 
@@ -140,7 +154,7 @@ mod tests {
         s.insert(b(1), StreamTag(0));
         s.insert(b(2), StreamTag(0));
         s.take(b(1)); // stale FIFO entry for 1 remains
-        // Inserting two more should evict 2 (the oldest *resident*).
+                      // Inserting two more should evict 2 (the oldest *resident*).
         let e = s.insert(b(3), StreamTag(1));
         assert_eq!(e, None); // room freed by take
         let e = s.insert(b(4), StreamTag(1));
@@ -153,10 +167,10 @@ mod tests {
         s.insert(b(1), StreamTag(0));
         s.insert(b(2), StreamTag(1));
         s.insert(b(3), StreamTag(0));
-        let mut flushed = s.flush_tag(StreamTag(0));
-        flushed.sort_by_key(|x| x.get());
-        assert_eq!(flushed, vec![b(1), b(3)]);
+        assert_eq!(s.flush_tag(StreamTag(0)), 2);
+        assert!(!s.contains(b(1)) && !s.contains(b(3)));
         assert!(s.contains(b(2)));
+        assert_eq!(s.flush_tag(StreamTag(0)), 0, "already flushed");
     }
 
     #[test]
@@ -164,8 +178,8 @@ mod tests {
         let mut s = Svb::new(4);
         s.insert(b(1), StreamTag(0));
         s.insert(b(2), StreamTag(1));
-        let drained = s.drain_all();
-        assert_eq!(drained.len(), 2);
+        assert_eq!(s.drain_all(), 2);
         assert!(s.is_empty());
+        assert_eq!(s.drain_all(), 0);
     }
 }

@@ -56,7 +56,7 @@ pub mod tms;
 pub mod util;
 
 pub use config::PrefetchConfig;
-pub use engine::{CoverageSim, Counters, NullPrefetcher, Prefetcher};
+pub use engine::{Counters, CoverageSim, NullPrefetcher, Prefetcher};
 pub use naive::NaiveHybrid;
 pub use sms::SmsPrefetcher;
 pub use stems::StemsPrefetcher;

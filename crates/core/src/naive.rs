@@ -117,11 +117,7 @@ mod tests {
     #[test]
     fn both_components_are_active() {
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            NaiveHybrid::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, NaiveHybrid::new(&cfg));
         sim.run(&mixed_trace());
         assert!(sim.prefetcher().tms().recorded_misses() > 0);
         assert!(sim.prefetcher().sms().generations_trained() > 0);

@@ -250,11 +250,7 @@ mod tests {
     #[test]
     fn generation_training_happens_on_eviction() {
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            SmsPrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, SmsPrefetcher::new(&cfg));
         // Touch far more regions than the 4-entry AGT holds: capacity
         // evictions must train.
         let t = scan_trace(32, &[0, 1]);

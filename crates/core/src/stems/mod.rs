@@ -22,9 +22,7 @@ pub use rmob::{Rmob, RmobEntry};
 
 use std::collections::VecDeque;
 
-use stems_types::{
-    BlockAddr, BlockOffset, Delta, Pc, RegionAddr, SpatialPattern, SpatialSequence,
-};
+use stems_types::{BlockAddr, BlockOffset, Delta, Pc, RegionAddr, SpatialPattern, SpatialSequence};
 
 use crate::engine::{AccessEvent, EvictKind, PrefetchSink, Prefetcher, Satisfied, StreamTag};
 use crate::sms::spatial_index;
@@ -76,19 +74,27 @@ fn refill_source(
     pst: &mut Pst,
     recon_predicted: &mut LruTable<RegionAddr, u64>,
     recon_stats: &mut ReconStats,
-) -> Vec<BlockAddr> {
+    out: &mut VecDeque<BlockAddr>,
+) -> usize {
     match src {
         StemsSource::Recon(r) => {
             let before = r.stats;
-            let out = r.produce(n, rmob, pst, |region, index| {
-                recon_predicted.insert(region, index);
-            });
+            let appended = r.produce_into(
+                n,
+                rmob,
+                pst,
+                |region, index| {
+                    recon_predicted.insert(region, index);
+                },
+                out,
+            );
             recon_stats.merge(&r.stats.diff(&before));
-            out
+            appended
         }
         StemsSource::Fixed(q) => {
             let take = n.min(q.len());
-            q.drain(..take).collect()
+            out.extend(q.drain(..take));
+            take
         }
     }
 }
@@ -232,8 +238,8 @@ impl Prefetcher for StemsPrefetcher {
         // catch it up instead of flushing a queue for a fresh stream.
         let caught = ev.satisfied == Satisfied::OffChip
             && queues
-                .catch_up(block, sink, &mut |src, n| {
-                    refill_source(src, n, rmob, pst, recon_predicted, recon_stats)
+                .catch_up(block, sink, &mut |src, n, out| {
+                    refill_source(src, n, rmob, pst, recon_predicted, recon_stats, out)
                 })
                 .is_some();
         // Look up temporal history *before* this miss is recorded, so we
@@ -246,8 +252,8 @@ impl Prefetcher for StemsPrefetcher {
 
         // 1. Prefetch-hit consumption advances its stream.
         if let Satisfied::Svb(tag) = ev.satisfied {
-            queues.on_consumed(tag, sink, &mut |src, n| {
-                refill_source(src, n, rmob, pst, recon_predicted, recon_stats)
+            queues.on_consumed(tag, sink, &mut |src, n, out| {
+                refill_source(src, n, rmob, pst, recon_predicted, recon_stats, out)
             });
         }
 
@@ -308,8 +314,8 @@ impl Prefetcher for StemsPrefetcher {
         }
         if let Some(addrs) = spatial_only {
             *spatial_only_streams += 1;
-            queues.start(StemsSource::Fixed(addrs), sink, &mut |src, n| {
-                refill_source(src, n, rmob, pst, recon_predicted, recon_stats)
+            queues.start(StemsSource::Fixed(addrs), sink, &mut |src, n, out| {
+                refill_source(src, n, rmob, pst, recon_predicted, recon_stats, out)
             });
         }
 
@@ -321,7 +327,9 @@ impl Prefetcher for StemsPrefetcher {
             queues.start(
                 StemsSource::Recon(Box::new(recon)),
                 sink,
-                &mut |src, n| refill_source(src, n, rmob, pst, recon_predicted, recon_stats),
+                &mut |src, n, out| {
+                    refill_source(src, n, rmob, pst, recon_predicted, recon_stats, out)
+                },
             );
         }
     }
@@ -355,11 +363,7 @@ mod tests {
 
     fn run(t: &Trace) -> (Counters, StemsPrefetcher) {
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            StemsPrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, StemsPrefetcher::new(&cfg));
         let c = sim.run(t);
         let p = sim.prefetcher().clone();
         (c, p)
@@ -452,11 +456,7 @@ mod tests {
     #[test]
     fn writes_do_not_clock_the_miss_order() {
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            StemsPrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, StemsPrefetcher::new(&cfg));
         let mut t = Trace::new();
         for i in 0..64u64 {
             t.write(0x1, (1 << 33) + i * (1 << 21));

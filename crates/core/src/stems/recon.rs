@@ -77,7 +77,9 @@ impl ReconStats {
             exact: self.exact.saturating_sub(earlier.exact),
             shifted1: self.shifted1.saturating_sub(earlier.shifted1),
             shifted2: self.shifted2.saturating_sub(earlier.shifted2),
-            dropped_conflict: self.dropped_conflict.saturating_sub(earlier.dropped_conflict),
+            dropped_conflict: self
+                .dropped_conflict
+                .saturating_sub(earlier.dropped_conflict),
             dropped_window: self.dropped_window.saturating_sub(earlier.dropped_window),
         }
     }
@@ -111,6 +113,9 @@ pub struct Reconstructor {
     primed: bool,
     /// Whether the temporal history has run out (stream end).
     exhausted: bool,
+    /// Scratch for one RMOB entry's predicted spatial sequence, reused
+    /// across expansions to keep the refill path allocation-free.
+    predicted_scratch: Vec<(u8, u8)>,
     /// Placement statistics for this reconstruction.
     pub stats: ReconStats,
 }
@@ -128,6 +133,7 @@ impl Reconstructor {
             search,
             primed: false,
             exhausted: false,
+            predicted_scratch: Vec::new(),
             stats: ReconStats::default(),
         }
     }
@@ -154,33 +160,43 @@ impl Reconstructor {
             return None;
         }
         // Try exact, then +-1, then +-2 (forward first: a later slot only
-        // delays the prefetch, an earlier one reorders it).
-        for (dist, candidate) in self.candidates(abs) {
-            if let Some(slot) = self.slot_at(candidate) {
-                if slot.is_none() {
-                    *slot = Some(block);
-                    match dist {
-                        0 => self.stats.exact += 1,
-                        1 => self.stats.shifted1 += 1,
-                        _ => self.stats.shifted2 += 1,
-                    }
-                    return Some(candidate);
-                }
+        // delays the prefetch, an earlier one reorders it). Candidate
+        // order is materialized inline rather than via an allocated list:
+        // this runs for every placed address.
+        if self.try_place(abs, block) {
+            self.stats.exact += 1;
+            return Some(abs);
+        }
+        for d in 1..=self.search as u64 {
+            if self.try_place(abs + d, block) {
+                self.bump_shifted(d);
+                return Some(abs + d);
+            }
+            if abs >= self.base + d && self.try_place(abs - d, block) {
+                self.bump_shifted(d);
+                return Some(abs - d);
             }
         }
         self.stats.dropped_conflict += 1;
         None
     }
 
-    fn candidates(&self, abs: u64) -> Vec<(u32, u64)> {
-        let mut out = vec![(0u32, abs)];
-        for d in 1..=self.search as u64 {
-            out.push((d as u32, abs + d));
-            if abs >= self.base + d {
-                out.push((d as u32, abs - d));
+    fn try_place(&mut self, candidate: u64, block: BlockAddr) -> bool {
+        match self.slot_at(candidate) {
+            Some(slot @ None) => {
+                *slot = Some(block);
+                true
             }
+            _ => false,
         }
-        out
+    }
+
+    fn bump_shifted(&mut self, dist: u64) {
+        if dist == 1 {
+            self.stats.shifted1 += 1;
+        } else {
+            self.stats.shifted2 += 1;
+        }
     }
 
     /// Expands one RMOB entry into the window: places its trigger address
@@ -223,17 +239,16 @@ impl Reconstructor {
         };
         let region = entry.block.region();
         let index = spatial_index(entry.pc, entry.block.offset_in_region());
-        let predicted: Vec<(u8, u8)> = match pst.lookup(index) {
-            Some(seq) => seq
-                .predicted()
-                .map(|e| (e.offset.get(), e.delta.get()))
-                .collect(),
-            None => Vec::new(),
-        };
-        if !predicted.is_empty() {
+        self.predicted_scratch.clear();
+        if let Some(seq) = pst.lookup(index) {
+            self.predicted_scratch
+                .extend(seq.predicted().map(|e| (e.offset.get(), e.delta.get())));
+        }
+        if !self.predicted_scratch.is_empty() {
             predicted_region(region, index);
             let mut prev = anchor;
-            for (offset, delta) in predicted {
+            for i in 0..self.predicted_scratch.len() {
+                let (offset, delta) = self.predicted_scratch[i];
                 let target = prev + delta as u64 + 1;
                 let off = stems_types::BlockOffset::new(offset);
                 match self.place(target, region.block_at(off)) {
@@ -259,10 +274,26 @@ impl Reconstructor {
         n: usize,
         rmob: &OrderBuffer<RmobEntry>,
         pst: &mut Pst,
-        mut predicted_region: impl FnMut(stems_types::RegionAddr, u64),
+        predicted_region: impl FnMut(stems_types::RegionAddr, u64),
     ) -> Vec<BlockAddr> {
-        let mut out = Vec::with_capacity(n);
-        while out.len() < n {
+        let mut out = VecDeque::with_capacity(n);
+        self.produce_into(n, rmob, pst, predicted_region, &mut out);
+        out.into()
+    }
+
+    /// Like [`Reconstructor::produce`], but appends into a caller-provided
+    /// buffer (the stream queue's pending deque) instead of allocating.
+    /// Returns the number of addresses appended.
+    pub fn produce_into(
+        &mut self,
+        n: usize,
+        rmob: &OrderBuffer<RmobEntry>,
+        pst: &mut Pst,
+        mut predicted_region: impl FnMut(stems_types::RegionAddr, u64),
+        out: &mut VecDeque<BlockAddr>,
+    ) -> usize {
+        let mut appended = 0;
+        while appended < n {
             let safe_frontier = self.base + 2 * self.search as u64 + 1;
             if !self.exhausted && self.horizon < safe_frontier {
                 // The front slot could still receive placements: expand.
@@ -275,7 +306,8 @@ impl Reconstructor {
                 Some(opt) => {
                     self.base += 1;
                     if let Some(block) = opt {
-                        out.push(block);
+                        out.push_back(block);
+                        appended += 1;
                     }
                 }
                 None => {
@@ -285,7 +317,7 @@ impl Reconstructor {
                 }
             }
         }
-        out
+        appended
     }
 }
 
@@ -333,8 +365,14 @@ mod tests {
                 spatial_index(Pc::new(1), BlockOffset::new(8)),
                 &seq(&[(12, 0), (10, 1), (7, 1)]),
             );
-            pst.train(spatial_index(Pc::new(2), BlockOffset::new(0)), &seq(&[(6, 1)]));
-            pst.train(spatial_index(Pc::new(4), BlockOffset::new(0)), &seq(&[(1, 0), (2, 0)]));
+            pst.train(
+                spatial_index(Pc::new(2), BlockOffset::new(0)),
+                &seq(&[(6, 1)]),
+            );
+            pst.train(
+                spatial_index(Pc::new(4), BlockOffset::new(0)),
+                &seq(&[(1, 0), (2, 0)]),
+            );
         }
 
         let mut r = Reconstructor::new(0, 64, 2);

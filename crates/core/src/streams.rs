@@ -17,9 +17,10 @@ use crate::engine::{PrefetchSink, StreamTag};
 use crate::PrefetchConfig;
 
 /// Refill callback: asked to append up to `n` more predicted addresses
-/// from the stream's history source; returning an empty vector marks the
-/// source exhausted.
-pub type RefillFn<'a, S> = &'a mut dyn FnMut(&mut S, usize) -> Vec<BlockAddr>;
+/// from the stream's history source directly onto the queue's pending
+/// deque (no intermediate allocation); returning 0 marks the source
+/// exhausted.
+pub type RefillFn<'a, S> = &'a mut dyn FnMut(&mut S, usize, &mut VecDeque<BlockAddr>) -> usize;
 
 #[derive(Clone, Debug)]
 struct Queue<S> {
@@ -114,14 +115,15 @@ impl<S> StreamQueues<S> {
         let tag = StreamTag(idx as u8);
         sink.flush_stream(tag);
         let now = self.tick();
-        self.queues[idx] = Queue {
-            source: Some(source),
-            pending: VecDeque::new(),
-            inflight: 0,
-            confirmed: false,
-            exhausted: false,
-            last_active: now,
-        };
+        // Reset the victim queue in place: `pending` keeps its buffer, so
+        // steady-state stream churn performs no allocation.
+        let q = &mut self.queues[idx];
+        q.source = Some(source);
+        q.pending.clear();
+        q.inflight = 0;
+        q.confirmed = false;
+        q.exhausted = false;
+        q.last_active = now;
         self.streams_started += 1;
         self.pump(tag, sink, refill);
         tag
@@ -160,7 +162,22 @@ impl<S> StreamQueues<S> {
         const SEARCH_DEPTH: usize = 64;
         let mut found = None;
         for (i, q) in self.queues.iter().enumerate() {
-            if let Some(k) = q.pending.iter().take(SEARCH_DEPTH).position(|&b| b == block) {
+            // Scan the deque's two contiguous halves directly: this runs
+            // for every off-chip miss, and slice scans of u64 newtypes
+            // vectorize where the VecDeque iterator does not.
+            let (front, back) = q.pending.as_slices();
+            let front_take = front.len().min(SEARCH_DEPTH);
+            let k = front[..front_take]
+                .iter()
+                .position(|&b| b == block)
+                .or_else(|| {
+                    let back_take = back.len().min(SEARCH_DEPTH - front_take);
+                    back[..back_take]
+                        .iter()
+                        .position(|&b| b == block)
+                        .map(|k| front_take + k)
+                });
+            if let Some(k) = k {
                 found = Some((i, k));
                 break;
             }
@@ -209,12 +226,10 @@ impl<S> StreamQueues<S> {
                 let Some(source) = q.source.as_mut() else {
                     break;
                 };
-                let more = refill(source, self.refill_chunk);
-                if more.is_empty() {
+                if refill(source, self.refill_chunk, &mut q.pending) == 0 {
                     q.exhausted = true;
                     break;
                 }
-                q.pending.extend(more);
             }
             let block = q.pending.pop_front().expect("pending nonempty");
             attempts -= 1;
@@ -226,11 +241,8 @@ impl<S> StreamQueues<S> {
         let q = &mut self.queues[idx];
         if !q.exhausted && q.pending.len() < self.refill_threshold {
             if let Some(source) = q.source.as_mut() {
-                let more = refill(source, self.refill_chunk);
-                if more.is_empty() {
+                if refill(source, self.refill_chunk, &mut q.pending) == 0 {
                     q.exhausted = true;
-                } else {
-                    q.pending.extend(more);
                 }
             }
         }
@@ -281,13 +293,14 @@ mod tests {
         end: u64,
     }
 
-    fn refill(c: &mut Counting, n: usize) -> Vec<BlockAddr> {
-        let mut out = Vec::new();
-        while c.next < c.end && out.len() < n {
-            out.push(BlockAddr::new(c.next));
+    fn refill(c: &mut Counting, n: usize, out: &mut VecDeque<BlockAddr>) -> usize {
+        let mut appended = 0;
+        while c.next < c.end && appended < n {
+            out.push_back(BlockAddr::new(c.next));
             c.next += 1;
+            appended += 1;
         }
-        out
+        appended
     }
 
     fn cfg() -> PrefetchConfig {
@@ -335,12 +348,26 @@ mod tests {
         let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
         let mut sink = RecordingSink::default();
         let t0 = qs.start(Counting { next: 0, end: 10 }, &mut sink, &mut refill);
-        let t1 = qs.start(Counting { next: 100, end: 110 }, &mut sink, &mut refill);
+        let t1 = qs.start(
+            Counting {
+                next: 100,
+                end: 110,
+            },
+            &mut sink,
+            &mut refill,
+        );
         assert_ne!(t0, t1);
         // Touch t0 so t1 becomes LRU.
         qs.on_consumed(t0, &mut sink, &mut refill);
         sink.flushed.clear();
-        let t2 = qs.start(Counting { next: 200, end: 210 }, &mut sink, &mut refill);
+        let t2 = qs.start(
+            Counting {
+                next: 200,
+                end: 210,
+            },
+            &mut sink,
+            &mut refill,
+        );
         assert_eq!(t2, t1, "LRU stream should be victimized");
         assert_eq!(sink.flushed, vec![t1]);
     }

@@ -114,11 +114,7 @@ mod tests {
             t.read(0x400, i * 64 + 16 * 1024 * 1024);
         }
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            StridePrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, StridePrefetcher::new(&cfg));
         let c = sim.run(&t);
         assert!(c.covered > 40, "covered = {}", c.covered);
         assert!(c.uncovered < 16, "uncovered = {}", c.uncovered);
@@ -129,15 +125,13 @@ mod tests {
         let mut t = Trace::new();
         let mut x: u64 = 0x9E3779B9;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.read(0x400, (x % (1 << 30)) & !63);
         }
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            StridePrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, StridePrefetcher::new(&cfg));
         let c = sim.run(&t);
         assert_eq!(c.covered, 0);
     }
@@ -149,11 +143,7 @@ mod tests {
             t.read(0x400, i * 64 + 16 * 1024 * 1024);
         }
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            StridePrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, StridePrefetcher::new(&cfg));
         let c = sim.run(&t);
         assert!(c.covered > 40, "covered = {}", c.covered);
     }

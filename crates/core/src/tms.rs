@@ -74,10 +74,10 @@ impl Prefetcher for TmsPrefetcher {
                 // Prefetch hit: the block is part of the recorded miss
                 // order (it would have missed), and its consumption
                 // advances the stream.
-                queues.on_consumed(tag, sink, &mut |cursor: &mut CmobCursor, n| {
-                    let out = cmob.read_from(cursor.next, n);
-                    cursor.next += out.len() as u64;
-                    out
+                queues.on_consumed(tag, sink, &mut |cursor: &mut CmobCursor, n, out| {
+                    let read = cmob.read_from_into(cursor.next, n, out);
+                    cursor.next += read as u64;
+                    read
                 });
                 cmob.append(ev.block);
             }
@@ -85,10 +85,10 @@ impl Prefetcher for TmsPrefetcher {
                 // If an active stream already predicted this block just
                 // ahead, catch it up instead of thrashing the queues.
                 let caught = queues
-                    .catch_up(ev.block, sink, &mut |cursor: &mut CmobCursor, n| {
-                        let out = cmob.read_from(cursor.next, n);
-                        cursor.next += out.len() as u64;
-                        out
+                    .catch_up(ev.block, sink, &mut |cursor: &mut CmobCursor, n, out| {
+                        let read = cmob.read_from_into(cursor.next, n, out);
+                        cursor.next += read as u64;
+                        read
                     })
                     .is_some();
                 // Locate the previous occurrence *before* recording this
@@ -97,10 +97,10 @@ impl Prefetcher for TmsPrefetcher {
                 cmob.append(ev.block);
                 if !caught {
                     if let Some(pos) = found {
-                        queues.start(CmobCursor { next: pos + 1 }, sink, &mut |cursor, n| {
-                            let out = cmob.read_from(cursor.next, n);
-                            cursor.next += out.len() as u64;
-                            out
+                        queues.start(CmobCursor { next: pos + 1 }, sink, &mut |cursor, n, out| {
+                            let read = cmob.read_from_into(cursor.next, n, out);
+                            cursor.next += read as u64;
+                            read
                         });
                     }
                 }
@@ -165,11 +165,7 @@ mod tests {
     #[test]
     fn first_iteration_trains_second_streams() {
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            TmsPrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, TmsPrefetcher::new(&cfg));
         let c1 = {
             for a in looping_trace(256, 1).iter() {
                 sim.step(a);
@@ -181,11 +177,7 @@ mod tests {
             sim.step(a);
         }
         let c2 = sim.finalize();
-        assert!(
-            c2.covered > 128,
-            "second pass should stream: {:?}",
-            c2
-        );
+        assert!(c2.covered > 128, "second pass should stream: {:?}", c2);
         assert!(sim.prefetcher().streams_started() >= 1);
         assert!(sim.prefetcher().recorded_misses() >= 256);
     }
@@ -193,11 +185,7 @@ mod tests {
     #[test]
     fn writes_are_not_recorded() {
         let cfg = PrefetchConfig::small();
-        let mut sim = CoverageSim::new(
-            &SystemConfig::small(),
-            &cfg,
-            TmsPrefetcher::new(&cfg),
-        );
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, TmsPrefetcher::new(&cfg));
         let mut t = Trace::new();
         for i in 0..32u64 {
             t.write(0x400, i * (1 << 20));

@@ -4,10 +4,14 @@
 //! table, the pattern sequence table, active generation tables, stride
 //! tables, and stream-queue victim selection. Implemented as an intrusive
 //! doubly-linked list over a slot vector plus a hash index, so `get`,
-//! `insert`, and `remove` are all O(1).
+//! `insert`, and `remove` are all O(1). The index hashes through
+//! [`stems_types::FxHasher`] and is pre-sized to capacity: every PHT /
+//! PST / AGT / stride lookup pays the hash, so SipHash here was the
+//! single largest per-access cost of the predictors.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use stems_types::{fx_map_with_capacity, FxHashMap};
 
 const NIL: usize = usize::MAX;
 
@@ -36,7 +40,7 @@ struct Slot<K, V> {
 #[derive(Clone, Debug)]
 pub struct LruTable<K, V> {
     slots: Vec<Slot<K, V>>,
-    index: HashMap<K, usize>,
+    index: FxHashMap<K, usize>,
     free: Vec<usize>,
     head: usize, // MRU
     tail: usize, // LRU
@@ -53,7 +57,7 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
         assert!(capacity > 0, "LruTable capacity must be nonzero");
         LruTable {
             slots: Vec::with_capacity(capacity.min(4096)),
-            index: HashMap::with_capacity(capacity.min(4096)),
+            index: fx_map_with_capacity(capacity.min(4096)),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
@@ -302,5 +306,117 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
         let _: LruTable<u8, u8> = LruTable::new(0);
+    }
+
+    /// A naive, obviously-correct reference: a Vec ordered MRU-first.
+    struct VecModel {
+        entries: Vec<(u32, u32)>,
+        capacity: usize,
+    }
+
+    impl VecModel {
+        fn new(capacity: usize) -> Self {
+            VecModel {
+                entries: Vec::new(),
+                capacity,
+            }
+        }
+
+        fn get(&mut self, key: u32) -> Option<u32> {
+            let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+            let e = self.entries.remove(pos);
+            self.entries.insert(0, e);
+            Some(e.1)
+        }
+
+        fn peek(&self, key: u32) -> Option<u32> {
+            self.entries
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, v)| v)
+        }
+
+        fn insert(&mut self, key: u32, value: u32) -> Option<(u32, u32)> {
+            if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+                let old = self.entries.remove(pos);
+                self.entries.insert(0, (key, value));
+                return Some(old);
+            }
+            let evicted = if self.entries.len() == self.capacity {
+                self.entries.pop()
+            } else {
+                None
+            };
+            self.entries.insert(0, (key, value));
+            evicted
+        }
+
+        fn remove(&mut self, key: u32) -> Option<u32> {
+            let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+            Some(self.entries.remove(pos).1)
+        }
+    }
+
+    /// Property test against the model oracle: after the FxHash index
+    /// swap, eviction order, `get` refresh, re-insert, `remove`, and
+    /// MRU-first iteration must all behave exactly as a naive ordered
+    /// Vec — across thousands of randomized operation sequences.
+    #[test]
+    fn matches_vec_model_under_random_ops() {
+        use crate::util::XorShift64;
+
+        for seed in 0..20u64 {
+            let mut rng = XorShift64::new(0xBEEF ^ seed);
+            let capacity = 1 + rng.below(12) as usize;
+            let mut table: LruTable<u32, u32> = LruTable::new(capacity);
+            let mut model = VecModel::new(capacity);
+            for step in 0..2000u32 {
+                let key = rng.below(24) as u32;
+                match rng.below(10) {
+                    0..=4 => {
+                        let value = step;
+                        assert_eq!(
+                            table.insert(key, value),
+                            model.insert(key, value),
+                            "insert({key}) diverged at step {step} (seed {seed})"
+                        );
+                    }
+                    5..=6 => {
+                        assert_eq!(
+                            table.get(&key).copied(),
+                            model.get(key),
+                            "get({key}) diverged at step {step} (seed {seed})"
+                        );
+                    }
+                    7 => {
+                        assert_eq!(
+                            table.peek(&key).copied(),
+                            model.peek(key),
+                            "peek({key}) diverged at step {step} (seed {seed})"
+                        );
+                    }
+                    8 => {
+                        assert_eq!(
+                            table.remove(&key),
+                            model.remove(key),
+                            "remove({key}) diverged at step {step} (seed {seed})"
+                        );
+                    }
+                    _ => {
+                        let got: Vec<(u32, u32)> = table.iter().map(|(&k, &v)| (k, v)).collect();
+                        assert_eq!(
+                            got, model.entries,
+                            "recency order diverged at step {step} (seed {seed})"
+                        );
+                        assert_eq!(table.len(), model.entries.len());
+                        assert_eq!(
+                            table.lru_key().copied(),
+                            model.entries.last().map(|&(k, _)| k)
+                        );
+                    }
+                }
+                assert!(table.len() <= capacity);
+            }
+        }
     }
 }

@@ -6,9 +6,7 @@
 //! full; an index maps a block address to its most recent position so a
 //! miss can locate where to start streaming (Section 2.2, 4.2).
 
-use std::collections::HashMap;
-
-use stems_types::BlockAddr;
+use stems_types::{fx_map_with_capacity, BlockAddr, FxHashMap};
 
 /// Types storable in an [`OrderBuffer`]: anything with a block address key.
 pub trait HasBlock {
@@ -33,7 +31,7 @@ pub struct OrderBuffer<T> {
     ring: Vec<T>,
     capacity: usize,
     appended: u64,
-    index: HashMap<BlockAddr, u64>,
+    index: FxHashMap<BlockAddr, u64>,
 }
 
 impl<T: HasBlock + Clone> OrderBuffer<T> {
@@ -48,7 +46,7 @@ impl<T: HasBlock + Clone> OrderBuffer<T> {
             ring: Vec::with_capacity(capacity.min(1 << 16)),
             capacity,
             appended: 0,
-            index: HashMap::new(),
+            index: fx_map_with_capacity(capacity.min(1 << 16)),
         }
     }
 
@@ -112,6 +110,28 @@ impl<T: HasBlock + Clone> OrderBuffer<T> {
             }
         }
         out
+    }
+
+    /// Like [`OrderBuffer::read_from`], but appends into a caller-provided
+    /// buffer (the stream queue's pending deque) instead of allocating.
+    /// Returns the number of entries appended.
+    pub fn read_from_into(
+        &self,
+        pos: u64,
+        n: usize,
+        out: &mut std::collections::VecDeque<T>,
+    ) -> usize {
+        let mut appended = 0;
+        for p in pos..pos.saturating_add(n as u64) {
+            match self.get(p) {
+                Some(e) => {
+                    out.push_back(e.clone());
+                    appended += 1;
+                }
+                None => break,
+            }
+        }
+        appended
     }
 }
 

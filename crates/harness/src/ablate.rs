@@ -10,13 +10,13 @@
 //! * **reconstruction window and ±search** — placement success vs drops;
 //! * **spatial-only streams** — the only source of compulsory coverage.
 
-use stems_core::engine::{CoverageSim, Counters, NullPrefetcher};
+use stems_core::engine::{Counters, CoverageSim, NullPrefetcher};
 use stems_core::{PrefetchConfig, StemsPrefetcher};
 use stems_trace::Trace;
 use stems_workloads::Workload;
 
 use crate::render::{pct, Table};
-use crate::runner::{prefetch_config, system_config, Settings};
+use crate::runner::{parallel_map, prefetch_config, system_config, Settings};
 
 fn run_stems(
     workload: Workload,
@@ -40,23 +40,93 @@ fn baseline(workload: Workload, trace: &Trace, settings: Settings) -> u64 {
 }
 
 /// Runs every ablation sweep and renders the tables.
+///
+/// Every workload x config cell is independent, so they are all sharded
+/// across the runner's worker threads in one flat batch; rendering then
+/// consumes the results in deterministic cell order.
 pub fn ablations(settings: Settings) -> String {
+    const LOOKAHEADS: [usize; 4] = [2, 4, 8, 16];
+    const QUEUES: [usize; 4] = [1, 2, 8, 16];
+    const SVBS: [usize; 3] = [16, 64, 256];
+    const RECONS: [(usize, usize); 5] = [(64, 2), (256, 0), (256, 2), (256, 4), (1024, 2)];
+    const SPATIAL: [bool; 2] = [true, false];
+
+    let workloads = [Workload::Db2, Workload::Qry2];
+    let threads = settings.effective_threads();
+    let traces = parallel_map(&workloads, threads, |w| {
+        w.generate_scaled(settings.scale, settings.seed)
+    });
+    let bases: Vec<u64> = parallel_map(&workloads, threads, |w| {
+        let wi = workloads.iter().position(|x| x == w).expect("member");
+        baseline(*w, &traces[wi], settings)
+    });
+
+    // One flat cell list per (workload, sweep variant), in render order.
+    let mut cells: Vec<(usize, PrefetchConfig)> = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let stock = prefetch_config(*w);
+        for lookahead in LOOKAHEADS {
+            cells.push((
+                wi,
+                PrefetchConfig {
+                    lookahead,
+                    ..stock.clone()
+                },
+            ));
+        }
+        for stream_queues in QUEUES {
+            cells.push((
+                wi,
+                PrefetchConfig {
+                    stream_queues,
+                    ..stock.clone()
+                },
+            ));
+        }
+        for svb_entries in SVBS {
+            cells.push((
+                wi,
+                PrefetchConfig {
+                    svb_entries,
+                    ..stock.clone()
+                },
+            ));
+        }
+        for (recon_entries, recon_search) in RECONS {
+            cells.push((
+                wi,
+                PrefetchConfig {
+                    recon_entries,
+                    recon_search,
+                    ..stock.clone()
+                },
+            ));
+        }
+        for spatial_only_streams in SPATIAL {
+            cells.push((
+                wi,
+                PrefetchConfig {
+                    spatial_only_streams,
+                    ..stock.clone()
+                },
+            ));
+        }
+    }
+    let results = parallel_map(&cells, threads, |(wi, cfg)| {
+        run_stems(workloads[*wi], cfg, &traces[*wi], settings)
+    });
+    let mut results = results.into_iter();
+
     let mut out = String::new();
-    for workload in [Workload::Db2, Workload::Qry2] {
-        let trace = workload.generate_scaled(settings.scale, settings.seed);
-        let base = baseline(workload, &trace, settings);
-        let stock = prefetch_config(workload);
+    for (wi, workload) in workloads.iter().enumerate() {
+        let base = bases[wi];
 
         let mut t = Table::new(
             &format!("Ablation: stream lookahead ({workload})"),
             &["lookahead", "coverage", "overprediction"],
         );
-        for lookahead in [2usize, 4, 8, 16] {
-            let cfg = PrefetchConfig {
-                lookahead,
-                ..stock.clone()
-            };
-            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+        for lookahead in LOOKAHEADS {
+            let (c, _) = results.next().expect("cell order matches build order");
             t.row(vec![
                 lookahead.to_string(),
                 pct(c.coverage_vs(base)),
@@ -70,12 +140,8 @@ pub fn ablations(settings: Settings) -> String {
             &format!("Ablation: stream queues ({workload})"),
             &["queues", "coverage", "overprediction"],
         );
-        for queues in [1usize, 2, 8, 16] {
-            let cfg = PrefetchConfig {
-                stream_queues: queues,
-                ..stock.clone()
-            };
-            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+        for queues in QUEUES {
+            let (c, _) = results.next().expect("cell order matches build order");
             t.row(vec![
                 queues.to_string(),
                 pct(c.coverage_vs(base)),
@@ -89,12 +155,8 @@ pub fn ablations(settings: Settings) -> String {
             &format!("Ablation: SVB entries ({workload})"),
             &["svb", "coverage", "overprediction"],
         );
-        for svb in [16usize, 64, 256] {
-            let cfg = PrefetchConfig {
-                svb_entries: svb,
-                ..stock.clone()
-            };
-            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+        for svb in SVBS {
+            let (c, _) = results.next().expect("cell order matches build order");
             t.row(vec![
                 svb.to_string(),
                 pct(c.coverage_vs(base)),
@@ -106,15 +168,16 @@ pub fn ablations(settings: Settings) -> String {
 
         let mut t = Table::new(
             &format!("Ablation: reconstruction window / search ({workload})"),
-            &["window", "search", "coverage", "exact placed", "placed <=|s|"],
+            &[
+                "window",
+                "search",
+                "coverage",
+                "exact placed",
+                "placed <=|s|",
+            ],
         );
-        for (window, search) in [(64usize, 2usize), (256, 0), (256, 2), (256, 4), (1024, 2)] {
-            let cfg = PrefetchConfig {
-                recon_entries: window,
-                recon_search: search,
-                ..stock.clone()
-            };
-            let (c, stats) = run_stems(workload, &cfg, &trace, settings);
+        for (window, search) in RECONS {
+            let (c, stats) = results.next().expect("cell order matches build order");
             t.row(vec![
                 window.to_string(),
                 search.to_string(),
@@ -130,12 +193,8 @@ pub fn ablations(settings: Settings) -> String {
             &format!("Ablation: spatial-only streams ({workload})"),
             &["spatial-only", "coverage", "overprediction"],
         );
-        for enabled in [true, false] {
-            let cfg = PrefetchConfig {
-                spatial_only_streams: enabled,
-                ..stock.clone()
-            };
-            let (c, _) = run_stems(workload, &cfg, &trace, settings);
+        for enabled in SPATIAL {
+            let (c, _) = results.next().expect("cell order matches build order");
             t.row(vec![
                 if enabled { "on" } else { "off" }.to_string(),
                 pct(c.coverage_vs(base)),
@@ -161,6 +220,7 @@ mod tests {
         let settings = Settings {
             scale: 0.03,
             seed: 5,
+            threads: 0,
         };
         let w = Workload::Qry2;
         let trace = w.generate_scaled(settings.scale, settings.seed);
@@ -185,6 +245,7 @@ mod tests {
         let settings = Settings {
             scale: 0.03,
             seed: 5,
+            threads: 0,
         };
         let w = Workload::Db2;
         let trace = w.generate_scaled(settings.scale, settings.seed);

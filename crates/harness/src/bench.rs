@@ -1,0 +1,200 @@
+//! Self-timing throughput harness behind `--bin bench_harness`.
+//!
+//! Measures the two things future PRs need a trajectory for:
+//!
+//! * **per-access step throughput** — how fast `CoverageSim::step` drives
+//!   each predictor through a trace (accesses/second, single thread);
+//! * **per-figure wall-clock** — end-to-end time of every reproduced
+//!   table/figure, serial and parallel.
+//!
+//! The report is written as `BENCH_harness.json` so successive PRs can
+//! diff machine-readable numbers instead of re-reading logs. Peak memory
+//! is a proxy read from `/proc/self/status` (`VmHWM`), 0 where
+//! unavailable.
+
+use std::time::Instant;
+
+use stems_trace::Trace;
+use stems_workloads::Workload;
+
+use crate::figs;
+use crate::runner::{run_coverage, system_config, Predictor, Settings};
+
+/// One measured quantity in the report.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Metric name (e.g. `step_throughput/db2/stems`).
+    pub name: String,
+    /// Value in `unit`.
+    pub value: f64,
+    /// Unit label (`accesses_per_sec`, `seconds`, `kb`, `x`).
+    pub unit: &'static str,
+}
+
+/// Peak resident set size in KB (Linux `VmHWM`), or 0 when unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches(" kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Times `predictor` over `trace`, returning accesses per second
+/// (single-threaded, best of `reps` runs to shed first-touch noise).
+pub fn step_throughput(
+    workload: Workload,
+    predictor: Predictor,
+    trace: &Trace,
+    settings: Settings,
+    reps: usize,
+) -> f64 {
+    let sys = system_config(settings.scale);
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let (_, secs) = time(|| run_coverage(workload, predictor, trace, &sys));
+        best = best.min(secs);
+    }
+    trace.len() as f64 / best
+}
+
+/// Runs the full self-timing suite and returns the measurements.
+pub fn run(settings: Settings) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let reps = 3;
+    // One commercial and one scientific workload bound the predictors'
+    // behavior; measuring all ten would just repeat these two regimes.
+    for w in [Workload::Db2, Workload::Em3d] {
+        let (trace, gen_secs) = time(|| w.generate_scaled(settings.scale, settings.seed));
+        out.push(Measurement {
+            name: format!("tracegen/{}/wall", w.name()),
+            value: gen_secs,
+            unit: "seconds",
+        });
+        out.push(Measurement {
+            name: format!("tracegen/{}/accesses", w.name()),
+            value: trace.len() as f64,
+            unit: "accesses",
+        });
+        for p in [
+            Predictor::None,
+            Predictor::Stride,
+            Predictor::Tms,
+            Predictor::Sms,
+            Predictor::Stems,
+            Predictor::Naive,
+        ] {
+            let rate = step_throughput(w, p, &trace, settings, reps);
+            out.push(Measurement {
+                name: format!("step_throughput/{}/{}", w.name(), p.name()),
+                value: rate,
+                unit: "accesses_per_sec",
+            });
+        }
+    }
+    for (name, f) in [
+        ("table1", figs::table1 as fn(Settings) -> String),
+        ("fig6", figs::fig6),
+        ("fig7", figs::fig7),
+        ("fig8", figs::fig8),
+        ("fig9", figs::fig9),
+        ("fig10", figs::fig10),
+        ("naive_hybrid", figs::naive_hybrid),
+        ("recon_stats", figs::recon_stats),
+    ] {
+        let (_, secs) = time(|| f(settings));
+        out.push(Measurement {
+            name: format!("figure/{name}/wall"),
+            value: secs,
+            unit: "seconds",
+        });
+    }
+    out.push(Measurement {
+        name: "peak_rss".to_string(),
+        value: peak_rss_kb() as f64,
+        unit: "kb",
+    });
+    out
+}
+
+/// Renders measurements as the `BENCH_harness.json` document.
+pub fn to_json(settings: Settings, measurements: &[Measurement]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"scale\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"measurements\": [\n",
+        settings.scale,
+        settings.seed,
+        settings.effective_threads()
+    ));
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{comma}\n",
+            m.name, m.value, m.unit
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_wellformed_json_shape() {
+        let settings = Settings {
+            scale: 0.002,
+            seed: 1,
+            ..Settings::default()
+        };
+        let ms = vec![
+            Measurement {
+                name: "a/b".into(),
+                value: 1.5,
+                unit: "seconds",
+            },
+            Measurement {
+                name: "c".into(),
+                value: 2.0,
+                unit: "kb",
+            },
+        ];
+        let json = to_json(settings, &ms);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        assert!(!json.contains(",\n  ]"), "no trailing comma before ]");
+    }
+
+    #[test]
+    fn throughput_measurement_is_positive() {
+        let settings = Settings {
+            scale: 0.002,
+            seed: 1,
+            ..Settings::default()
+        };
+        let trace = Workload::Db2.generate_scaled(settings.scale, settings.seed);
+        let rate = step_throughput(Workload::Db2, Predictor::None, &trace, settings, 1);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn peak_rss_does_not_panic() {
+        let _ = peak_rss_kb();
+    }
+}

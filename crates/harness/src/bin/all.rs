@@ -4,7 +4,10 @@ use stems_harness::{figs, Settings};
 
 fn main() {
     let settings = Settings::from_env();
-    eprintln!("running full evaluation at scale {} (seed {})", settings.scale, settings.seed);
+    eprintln!(
+        "running full evaluation at scale {} (seed {})",
+        settings.scale, settings.seed
+    );
     for (name, f) in [
         ("table1", figs::table1 as fn(Settings) -> String),
         ("fig6", figs::fig6),

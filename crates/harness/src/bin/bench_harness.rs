@@ -1,0 +1,39 @@
+//! Self-timing throughput report: writes `BENCH_harness.json` with
+//! per-predictor step throughput, per-figure wall-clock, and a peak-RSS
+//! proxy, so successive PRs have a machine-readable perf trajectory.
+//!
+//! Usage: `cargo run --release -p stems-harness --bin bench_harness --
+//! [--scale <f>] [--seed <n>] [--threads <n>] [--out <path>]`
+
+use stems_harness::bench;
+use stems_harness::Settings;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut settings = Settings::from_args(args.iter().cloned());
+    // Full-size traces take minutes per cell; default the bench to a
+    // scale that exercises every path in seconds.
+    if !args.iter().any(|a| a == "--scale") {
+        settings.scale = 0.05;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_harness.json".to_string());
+
+    eprintln!(
+        "bench_harness: scale {} seed {} threads {}",
+        settings.scale,
+        settings.seed,
+        settings.effective_threads()
+    );
+    let measurements = bench::run(settings);
+    for m in &measurements {
+        eprintln!("  {:<44} {:>16.3} {}", m.name, m.value, m.unit);
+    }
+    let json = bench::to_json(settings, &measurements);
+    std::fs::write(&out_path, &json).expect("write BENCH_harness.json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,7 +1,10 @@
 //! One module per reproduced table/figure; each returns rendered text.
 
 use crate::render::{pct, pct_signed, Table};
-use crate::runner::{per_workload, prefetch_config, run_coverage, run_timing, system_config, Predictor, Settings};
+use crate::runner::{
+    per_workload, per_workload_predictor, prefetch_config, run_coverage, run_timing, system_config,
+    Predictor, Settings,
+};
 
 use stems_analysis::{
     classify, correlation_distance, filter_trace, joint_analysis, JointBreakdown,
@@ -20,7 +23,10 @@ pub fn table1(_settings: Settings) -> String {
         t.row(vec![k.to_string(), v]);
     };
     kv("clock", format!("{} GHz", sys.clock_ghz));
-    kv("pipeline", format!("{}-wide, {}-entry ROB", sys.width, sys.rob_entries));
+    kv(
+        "pipeline",
+        format!("{}-wide, {}-entry ROB", sys.width, sys.rob_entries),
+    );
     kv(
         "L1d",
         format!(
@@ -54,19 +60,32 @@ pub fn table1(_settings: Settings) -> String {
     );
     kv(
         "lookahead",
-        format!("{} commercial / {} scientific", commercial.lookahead, scientific.lookahead),
+        format!(
+            "{} commercial / {} scientific",
+            commercial.lookahead, scientific.lookahead
+        ),
     );
-    kv("AGT / PHT / PST", format!(
-        "{} / {} / {} entries",
-        commercial.agt_entries, commercial.pht_entries, commercial.pst_entries
-    ));
+    kv(
+        "AGT / PHT / PST",
+        format!(
+            "{} / {} / {} entries",
+            commercial.agt_entries, commercial.pht_entries, commercial.pst_entries
+        ),
+    );
     kv(
         "CMOB / RMOB",
-        format!("{}K / {}K entries", commercial.cmob_entries / 1024, commercial.rmob_entries / 1024),
+        format!(
+            "{}K / {}K entries",
+            commercial.cmob_entries / 1024,
+            commercial.rmob_entries / 1024
+        ),
     );
     kv(
         "reconstruction",
-        format!("{} slots, +-{} search", commercial.recon_entries, commercial.recon_search),
+        format!(
+            "{} slots, +-{} search",
+            commercial.recon_entries, commercial.recon_search
+        ),
     );
     let mut out = t.render();
     out.push('\n');
@@ -90,12 +109,14 @@ pub fn table1(_settings: Settings) -> String {
 pub fn fig6(settings: Settings) -> String {
     let sys = system_config(settings.scale);
     let results = per_workload(settings, |_, trace| {
-        let misses = filter_trace(&trace, &sys).misses;
+        let misses = filter_trace(trace, &sys).misses;
         joint_analysis(&misses)
     });
     let mut t = Table::new(
         "Figure 6: joint predictability of off-chip read misses",
-        &["workload", "both", "TMS only", "SMS only", "neither", "temporal", "spatial", "joint"],
+        &[
+            "workload", "both", "TMS only", "SMS only", "neither", "temporal", "spatial", "joint",
+        ],
     );
     let mut sums = (0.0, 0.0, 0.0);
     for (w, j) in &results {
@@ -136,7 +157,7 @@ pub fn fig6(settings: Settings) -> String {
 pub fn fig6_data(settings: Settings) -> Vec<(Workload, JointBreakdown)> {
     let sys = system_config(settings.scale);
     per_workload(settings, |_, trace| {
-        joint_analysis(&filter_trace(&trace, &sys).misses)
+        joint_analysis(&filter_trace(trace, &sys).misses)
     })
 }
 
@@ -144,7 +165,7 @@ pub fn fig6_data(settings: Settings) -> Vec<(Workload, JointBreakdown)> {
 pub fn fig7(settings: Settings) -> String {
     let sys = system_config(settings.scale);
     let results = per_workload(settings, |_, trace| {
-        let out = filter_trace(&trace, &sys);
+        let out = filter_trace(trace, &sys);
         let all: Vec<u64> = out.misses.iter().map(|m| m.block.get()).collect();
         let triggers: Vec<u64> = out
             .misses
@@ -156,7 +177,14 @@ pub fn fig7(settings: Settings) -> String {
     });
     let mut t = Table::new(
         "Figure 7: temporal repetition (Sequitur) of misses and triggers",
-        &["workload", "series", "opportunity", "head", "new", "non-rep"],
+        &[
+            "workload",
+            "series",
+            "opportunity",
+            "head",
+            "new",
+            "non-rep",
+        ],
     );
     for (w, (all, trig)) in &results {
         for (label, b) in [("All_Addrs", all), ("Triggers", trig)] {
@@ -182,11 +210,13 @@ pub fn fig7(settings: Settings) -> String {
 pub fn fig8(settings: Settings) -> String {
     let sys = system_config(settings.scale);
     let results = per_workload(settings, |_, trace| {
-        correlation_distance(&filter_trace(&trace, &sys).generations)
+        correlation_distance(&filter_trace(trace, &sys).generations)
     });
     let mut t = Table::new(
         "Figure 8: correlation distance within generations (cumulative)",
-        &["workload", "+1 exact", "|d|<=2", "|d|<=4", "|d|<=6", "pairs", "unstable"],
+        &[
+            "workload", "+1 exact", "|d|<=2", "|d|<=4", "|d|<=6", "pairs", "unstable",
+        ],
     );
     for (w, h) in &results {
         let exact = if h.comparable() == 0 {
@@ -226,21 +256,35 @@ pub struct CoverageRow {
     pub series: [(f64, f64); 3],
 }
 
-/// The data behind Figure 9.
+/// The data behind Figure 9, sharded one workload x predictor cell at a
+/// time across the runner's worker threads.
 pub fn fig9_data(settings: Settings) -> Vec<(Workload, CoverageRow)> {
     let sys = system_config(settings.scale);
-    per_workload(settings, |w, trace| {
-        let base = run_coverage(w, Predictor::None, &trace, &sys).uncovered;
+    let cells = [
+        Predictor::None,
+        Predictor::Tms,
+        Predictor::Sms,
+        Predictor::Stems,
+    ];
+    per_workload_predictor(settings, &cells, |w, trace, p| {
+        run_coverage(w, p, trace, &sys)
+    })
+    .into_iter()
+    .map(|(w, counters)| {
+        let base = counters[0].uncovered;
         let mut series = [(0.0, 0.0); 3];
-        for (i, p) in Predictor::STREAMING.iter().enumerate() {
-            let c = run_coverage(w, *p, &trace, &sys);
+        for (i, c) in counters[1..].iter().enumerate() {
             series[i] = (c.coverage_vs(base), c.overprediction_vs(base));
         }
-        CoverageRow {
-            baseline: base,
-            series,
-        }
+        (
+            w,
+            CoverageRow {
+                baseline: base,
+                series,
+            },
+        )
     })
+    .collect()
 }
 
 /// Figure 9: covered / uncovered / overpredicted per predictor.
@@ -249,7 +293,13 @@ pub fn fig9(settings: Settings) -> String {
     let mut t = Table::new(
         "Figure 9: coverage and overprediction (fractions of baseline off-chip read misses)",
         &[
-            "workload", "baseline", "TMS cov", "TMS over", "SMS cov", "SMS over", "STeMS cov",
+            "workload",
+            "baseline",
+            "TMS cov",
+            "TMS over",
+            "SMS cov",
+            "SMS over",
+            "STeMS cov",
             "STeMS over",
         ],
     );
@@ -277,15 +327,25 @@ pub fn fig9(settings: Settings) -> String {
 /// predictor in [`Predictor::STREAMING`] order.
 pub fn fig10_data(settings: Settings) -> Vec<(Workload, [f64; 3])> {
     let sys = system_config(settings.scale);
-    per_workload(settings, |w, trace| {
-        let base = run_timing(w, Predictor::Stride, &trace, &sys);
-        let mut out = [0.0; 3];
-        for (i, p) in Predictor::STREAMING.iter().enumerate() {
-            let r = run_timing(w, *p, &trace, &sys);
-            out[i] = r.improvement_percent_over(&base);
-        }
-        out
+    let cells = [
+        Predictor::Stride,
+        Predictor::Tms,
+        Predictor::Sms,
+        Predictor::Stems,
+    ];
+    per_workload_predictor(settings, &cells, |w, trace, p| {
+        run_timing(w, p, trace, &sys)
     })
+    .into_iter()
+    .map(|(w, reports)| {
+        let base = &reports[0];
+        let mut out = [0.0; 3];
+        for (i, r) in reports[1..].iter().enumerate() {
+            out[i] = r.improvement_percent_over(base);
+        }
+        (w, out)
+    })
+    .collect()
 }
 
 /// Figure 10: speedup over the stride baseline.
@@ -324,16 +384,22 @@ pub fn fig10(settings: Settings) -> String {
 /// Section 5.5: the naive TMS+SMS hybrid's overpredictions vs STeMS.
 pub fn naive_hybrid(settings: Settings) -> String {
     let sys = system_config(settings.scale);
-    let results = per_workload(settings, |w, trace| {
-        let base = run_coverage(w, Predictor::None, &trace, &sys).uncovered;
-        let naive = run_coverage(w, Predictor::Naive, &trace, &sys);
-        let stems = run_coverage(w, Predictor::Stems, &trace, &sys);
-        (base, naive, stems)
-    });
+    let cells = [Predictor::None, Predictor::Naive, Predictor::Stems];
+    let results: Vec<_> = per_workload_predictor(settings, &cells, |w, trace, p| {
+        run_coverage(w, p, trace, &sys)
+    })
+    .into_iter()
+    .map(|(w, c)| (w, (c[0].uncovered, c[1], c[2])))
+    .collect();
     let mut t = Table::new(
         "Section 5.5: naive TMS+SMS hybrid vs STeMS",
         &[
-            "workload", "naive cov", "naive over", "STeMS cov", "STeMS over", "over ratio",
+            "workload",
+            "naive cov",
+            "naive over",
+            "STeMS cov",
+            "STeMS over",
+            "over ratio",
         ],
     );
     for (w, (base, naive, stems)) in &results {
@@ -368,7 +434,7 @@ pub fn recon_stats(settings: Settings) -> String {
             StemsPrefetcher::new(&cfg),
         )
         .with_invalidations(w.invalidation_rate(), 7);
-        sim.run(&trace);
+        sim.run(trace);
         sim.prefetcher().recon_stats()
     });
     let mut t = Table::new(
@@ -396,4 +462,36 @@ pub fn recon_stats(settings: Settings) -> String {
          addresses, 92% in their original location.\n",
         t.render()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The parallel cell runner must be invisible in the output: every
+    /// figure rendered with one worker is byte-identical to the same
+    /// figure rendered with many.
+    #[test]
+    fn parallel_figures_are_byte_identical_to_serial() {
+        let serial = Settings {
+            scale: 0.004,
+            seed: 3,
+            threads: 1,
+        };
+        let parallel = Settings {
+            threads: 7,
+            ..serial
+        };
+        for (name, f) in [
+            ("fig6", fig6 as fn(Settings) -> String),
+            ("fig9", fig9),
+            ("naive_hybrid", naive_hybrid),
+        ] {
+            assert_eq!(
+                f(serial),
+                f(parallel),
+                "{name}: parallel output must match serial byte-for-byte"
+            );
+        }
+    }
 }

@@ -6,6 +6,7 @@
 //! `--seed <n>`; `--bin all` runs the complete evaluation.
 
 pub mod ablate;
+pub mod bench;
 pub mod figs;
 pub mod render;
 pub mod runner;
@@ -13,5 +14,6 @@ pub mod stats;
 
 pub use render::{pct, pct_signed, Table};
 pub use runner::{
-    per_workload, prefetch_config, run_coverage, run_timing, Predictor, Settings,
+    parallel_map, per_workload, per_workload_predictor, prefetch_config, run_coverage, run_timing,
+    Predictor, Settings,
 };

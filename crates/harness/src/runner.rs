@@ -43,13 +43,16 @@ impl Predictor {
     }
 }
 
-/// Scale/seed settings shared by every experiment (parsed from argv).
+/// Scale/seed/parallelism settings shared by every experiment (parsed
+/// from argv).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Settings {
     /// Footprint scale (1.0 = evaluation size).
     pub scale: f64,
     /// Workload generator seed.
     pub seed: u64,
+    /// Worker threads for sharding experiment cells (0 = all cores).
+    pub threads: usize,
 }
 
 impl Default for Settings {
@@ -57,13 +60,14 @@ impl Default for Settings {
         Settings {
             scale: 1.0,
             seed: 2009,
+            threads: 0,
         }
     }
 }
 
 impl Settings {
-    /// Parses `--scale <f>` and `--seed <n>` from an argument list;
-    /// unknown arguments are ignored.
+    /// Parses `--scale <f>`, `--seed <n>`, and `--threads <n>` from an
+    /// argument list; unknown arguments are ignored.
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut s = Settings::default();
         let args: Vec<String> = args.into_iter().collect();
@@ -79,6 +83,11 @@ impl Settings {
                         s.seed = v;
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                        s.threads = v;
+                    }
+                }
                 _ => {}
             }
         }
@@ -89,6 +98,68 @@ impl Settings {
     pub fn from_env() -> Self {
         Settings::from_args(std::env::args().skip(1))
     }
+
+    /// The worker count to actually use: `threads`, or every available
+    /// core when `threads` is 0.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Maps `f` over `items` on `threads` workers, returning results in input
+/// order regardless of which worker computed what.
+///
+/// Work distribution is a single shared atomic cursor — no queues, no
+/// work stealing — so cells are claimed in index order and the only
+/// nondeterminism is *where* a cell runs, never its input or its slot in
+/// the output. Each worker buffers `(index, result)` locally; the caller
+/// reassembles by index, so outputs are byte-identical to a serial run.
+pub fn parallel_map<I: Sync, T: Send>(
+    items: &[I],
+    threads: usize,
+    f: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, t) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(t);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|x| x.expect("cursor visits every index"))
+        .collect()
 }
 
 /// The system configuration for an experiment scale: the L2 shrinks with
@@ -170,9 +241,14 @@ pub fn run_timing(
     ));
     match predictor {
         Predictor::None => time_trace(sys, &cfg, &params, NullPrefetcher, trace, inval),
-        Predictor::Stride => {
-            time_trace(sys, &cfg, &params, StridePrefetcher::new(&cfg), trace, inval)
-        }
+        Predictor::Stride => time_trace(
+            sys,
+            &cfg,
+            &params,
+            StridePrefetcher::new(&cfg),
+            trace,
+            inval,
+        ),
         Predictor::Tms => time_trace(sys, &cfg, &params, TmsPrefetcher::new(&cfg), trace, inval),
         Predictor::Sms => time_trace(sys, &cfg, &params, SmsPrefetcher::new(&cfg), trace, inval),
         Predictor::Stems => {
@@ -182,33 +258,51 @@ pub fn run_timing(
     }
 }
 
+/// Generates every workload's trace in parallel, preserving order.
+pub fn generate_traces(settings: Settings) -> Vec<(Workload, Trace)> {
+    let workloads = Workload::all();
+    let traces = parallel_map(&workloads, settings.effective_threads(), |w| {
+        w.generate_scaled(settings.scale, settings.seed)
+    });
+    workloads.into_iter().zip(traces).collect()
+}
+
 /// Runs `f` for every workload in parallel, preserving order.
 pub fn per_workload<T: Send>(
     settings: Settings,
-    f: impl Fn(Workload, Trace) -> T + Sync,
+    f: impl Fn(Workload, &Trace) -> T + Sync,
 ) -> Vec<(Workload, T)> {
-    let workloads = Workload::all();
-    let mut out: Vec<Option<(Workload, T)>> = Vec::new();
-    for _ in 0..workloads.len() {
-        out.push(None);
-    }
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut handles = Vec::new();
-        for (i, w) in workloads.into_iter().enumerate() {
-            handles.push((
-                i,
-                scope.spawn(move || {
-                    let trace = w.generate_scaled(settings.scale, settings.seed);
-                    (w, f(w, trace))
-                }),
-            ));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("workload thread panicked"));
-        }
+    let cells = generate_traces(settings);
+    let results = parallel_map(&cells, settings.effective_threads(), |(w, trace)| {
+        f(*w, trace)
     });
-    out.into_iter().map(|x| x.expect("filled above")).collect()
+    cells.into_iter().map(|(w, _)| w).zip(results).collect()
+}
+
+/// Runs every workload × predictor cell in parallel, returning, per
+/// workload, the results in `predictors` order.
+///
+/// This is the finest-grained sharding the figures support: a slow cell
+/// (say STeMS on tpcc) no longer serializes behind its workload's other
+/// predictors, so the harness scales past `min(cores, 10)`.
+pub fn per_workload_predictor<T: Send>(
+    settings: Settings,
+    predictors: &[Predictor],
+    f: impl Fn(Workload, &Trace, Predictor) -> T + Sync,
+) -> Vec<(Workload, Vec<T>)> {
+    let traces = generate_traces(settings);
+    let cells: Vec<(usize, Predictor)> = (0..traces.len())
+        .flat_map(|wi| predictors.iter().map(move |&p| (wi, p)))
+        .collect();
+    let flat = parallel_map(&cells, settings.effective_threads(), |&(wi, p)| {
+        let (w, trace) = &traces[wi];
+        f(*w, trace, p)
+    });
+    let mut flat = flat.into_iter();
+    traces
+        .into_iter()
+        .map(|(w, _)| (w, flat.by_ref().take(predictors.len()).collect()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -218,14 +312,47 @@ mod tests {
     #[test]
     fn settings_parse() {
         let s = Settings::from_args(
-            ["--scale", "0.25", "--seed", "7", "--junk"]
+            ["--scale", "0.25", "--seed", "7", "--threads", "3", "--junk"]
                 .iter()
                 .map(|s| s.to_string()),
         );
         assert_eq!(s.scale, 0.25);
         assert_eq!(s.seed, 7);
+        assert_eq!(s.threads, 3);
+        assert_eq!(s.effective_threads(), 3);
         let d = Settings::from_args(std::iter::empty());
         assert_eq!(d, Settings::default());
+        assert!(d.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = parallel_map(&items, 1, |&x| x * x);
+        for threads in [2, 3, 8, 64] {
+            let parallel = parallel_map(&items, threads, |&x| x * x);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+        let empty: Vec<u64> = parallel_map(&[] as &[u64], 4, |&x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn per_workload_predictor_groups_in_order() {
+        let settings = Settings {
+            scale: 0.002,
+            seed: 1,
+            threads: 4,
+        };
+        let predictors = [Predictor::None, Predictor::Stride];
+        let results = per_workload_predictor(settings, &predictors, |_, trace, p| (p, trace.len()));
+        assert_eq!(results.len(), 10);
+        for (_, cells) in &results {
+            assert_eq!(cells.len(), 2);
+            assert_eq!(cells[0].0, Predictor::None);
+            assert_eq!(cells[1].0, Predictor::Stride);
+            assert!(cells[0].1 > 0);
+        }
     }
 
     #[test]
@@ -239,6 +366,7 @@ mod tests {
         let settings = Settings {
             scale: 0.002,
             seed: 1,
+            threads: 0,
         };
         let results = per_workload(settings, |_, trace| trace.len());
         assert_eq!(results.len(), 10);

@@ -4,7 +4,7 @@
 //! reporting the sample mean with a normal-approximation 95% interval.
 
 use crate::render::Table;
-use crate::runner::{run_timing, system_config, Predictor, Settings};
+use crate::runner::{parallel_map, run_timing, system_config, Predictor, Settings};
 use stems_workloads::Workload;
 
 /// Mean and 95% confidence half-width of a sample.
@@ -44,14 +44,29 @@ pub fn fig10_with_confidence(settings: Settings, seeds: usize) -> String {
         &format!("Figure 10 with 95% confidence intervals ({seeds} seeds)"),
         &["workload", "TMS", "SMS", "STeMS"],
     );
+    // Every workload x seed cell is independent: generate the trace and
+    // run all four timing models inside the cell, sharded across workers.
+    let cells: Vec<(Workload, u64)> = Workload::all()
+        .into_iter()
+        .flat_map(|w| (0..seeds as u64).map(move |s| (w, settings.seed + s)))
+        .collect();
+    let per_cell = parallel_map(&cells, settings.effective_threads(), |&(w, seed)| {
+        let trace = w.generate_scaled(settings.scale, seed);
+        let base = run_timing(w, Predictor::Stride, &trace, &sys);
+        let mut out = [0.0f64; 3];
+        for (i, p) in Predictor::STREAMING.iter().enumerate() {
+            let r = run_timing(w, *p, &trace, &sys);
+            out[i] = r.improvement_percent_over(&base);
+        }
+        out
+    });
+    let mut per_cell = per_cell.into_iter();
     for w in Workload::all() {
         let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for s in 0..seeds {
-            let trace = w.generate_scaled(settings.scale, settings.seed + s as u64);
-            let base = run_timing(w, Predictor::Stride, &trace, &sys);
-            for (i, p) in Predictor::STREAMING.iter().enumerate() {
-                let r = run_timing(w, *p, &trace, &sys);
-                samples[i].push(r.improvement_percent_over(&base));
+        for _ in 0..seeds {
+            let imps = per_cell.next().expect("cell order matches build order");
+            for i in 0..3 {
+                samples[i].push(imps[i]);
             }
         }
         let cells: Vec<String> = samples

@@ -84,6 +84,23 @@ impl Cache {
     /// block is inserted; if the set was full, the LRU line is evicted and
     /// reported.
     pub fn access(&mut self, block: BlockAddr, is_write: bool) -> CacheOutcome {
+        if self.access_hit(block, is_write) {
+            return CacheOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        CacheOutcome {
+            hit: false,
+            evicted: self.miss_fill(block, is_write),
+        }
+    }
+
+    /// The hit half of [`Cache::access`]: if `block` is resident, move it
+    /// to MRU (dirtying on write), count the hit, and return `true`. A
+    /// miss has no side effects — pair with [`Cache::miss_fill`] to
+    /// complete the access without re-scanning the set.
+    pub fn access_hit(&mut self, block: BlockAddr, is_write: bool) -> bool {
         let idx = self.set_index(block);
         let set = &mut self.sets[idx];
         if let Some(pos) = set.iter().position(|l| l.block == block) {
@@ -91,11 +108,22 @@ impl Cache {
             line.dirty |= is_write;
             set.insert(0, line);
             self.hits += 1;
-            return CacheOutcome {
-                hit: true,
-                evicted: None,
-            };
+            return true;
         }
+        false
+    }
+
+    /// The miss half of [`Cache::access`]: allocates `block` at MRU,
+    /// counting the miss and evicting the LRU line if the set is full.
+    /// The caller must already know the block is absent (via
+    /// [`Cache::access_hit`] returning `false`).
+    pub fn miss_fill(&mut self, block: BlockAddr, is_write: bool) -> Option<Evicted> {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        debug_assert!(
+            set.iter().all(|l| l.block != block),
+            "miss_fill on a resident block"
+        );
         self.misses += 1;
         let evicted = if set.len() == self.associativity {
             let victim = set.pop().expect("full set has a victim");
@@ -113,10 +141,7 @@ impl Cache {
                 dirty: is_write,
             },
         );
-        CacheOutcome {
-            hit: false,
-            evicted,
-        }
+        evicted
     }
 
     /// Inserts a block without counting a demand hit/miss (prefetch fill).

@@ -142,7 +142,7 @@ mod tests {
     fn off_chip_latency_is_hundreds_of_cycles() {
         let c = SystemConfig::default();
         let lat = c.off_chip_latency_cycles(2);
-        assert!(lat >= 300 && lat <= 800, "latency {lat} out of regime");
+        assert!((300..=800).contains(&lat), "latency {lat} out of regime");
     }
 
     #[test]

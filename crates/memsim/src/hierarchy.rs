@@ -11,9 +11,10 @@ use crate::cache::Cache;
 use crate::config::SystemConfig;
 
 /// The level of the hierarchy that satisfied an access.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Level {
     /// L1 data cache hit.
+    #[default]
     L1,
     /// L1 miss, L2 hit.
     L2,
@@ -30,12 +31,6 @@ pub struct HierarchyOutcome {
     /// Blocks removed from the L1 by this access (demand eviction plus any
     /// inclusion-driven back-invalidations). Ends spatial generations.
     pub l1_evicted: Vec<BlockAddr>,
-}
-
-impl Default for Level {
-    fn default() -> Self {
-        Level::L1
-    }
 }
 
 /// One node's L1d + L2.
@@ -56,15 +51,34 @@ impl Hierarchy {
 
     /// Performs a demand access; allocates into both levels on miss.
     pub fn access(&mut self, block: BlockAddr, is_write: bool) -> HierarchyOutcome {
-        let mut l1_evicted = Vec::new();
-        let l1 = self.l1.access(block, is_write);
-        if l1.hit {
+        if self.access_l1_hit(block, is_write) {
             return HierarchyOutcome {
                 level: Level::L1,
-                l1_evicted,
+                l1_evicted: Vec::new(),
             };
         }
-        if let Some(e) = l1.evicted {
+        let mut l1_evicted = Vec::new();
+        let level = self.access_after_l1_miss(block, is_write, &mut l1_evicted);
+        HierarchyOutcome { level, l1_evicted }
+    }
+
+    /// The L1-hit half of [`Hierarchy::access`]: one set scan, counting
+    /// the hit and refreshing recency on success, side-effect-free on
+    /// miss. Pair with [`Hierarchy::access_after_l1_miss`].
+    pub fn access_l1_hit(&mut self, block: BlockAddr, is_write: bool) -> bool {
+        self.l1.access_hit(block, is_write)
+    }
+
+    /// Completes a demand access whose L1 probe already missed,
+    /// appending evicted L1 blocks to `l1_evicted` instead of
+    /// allocating. Returns the satisfying level (never [`Level::L1`]).
+    pub fn access_after_l1_miss(
+        &mut self,
+        block: BlockAddr,
+        is_write: bool,
+        l1_evicted: &mut Vec<BlockAddr>,
+    ) -> Level {
+        if let Some(e) = self.l1.miss_fill(block, is_write) {
             l1_evicted.push(e.block);
         }
         let l2 = self.l2.access(block, is_write);
@@ -74,8 +88,11 @@ impl Hierarchy {
                 l1_evicted.push(e.block);
             }
         }
-        let level = if l2.hit { Level::L2 } else { Level::Memory };
-        HierarchyOutcome { level, l1_evicted }
+        if l2.hit {
+            Level::L2
+        } else {
+            Level::Memory
+        }
     }
 
     /// Installs `block` into both levels without counting demand traffic
@@ -85,6 +102,14 @@ impl Hierarchy {
     /// inclusion-driven back-invalidation), as [`Hierarchy::access`] does.
     pub fn fill(&mut self, block: BlockAddr) -> Vec<BlockAddr> {
         let mut l1_evicted = Vec::new();
+        self.fill_into(block, &mut l1_evicted);
+        l1_evicted
+    }
+
+    /// Like [`Hierarchy::fill`], but appends evicted L1 blocks to a
+    /// caller-provided buffer instead of allocating (the per-fill path of
+    /// every prefetch once the caches are warm).
+    pub fn fill_into(&mut self, block: BlockAddr, l1_evicted: &mut Vec<BlockAddr>) {
         if let Some(e) = self.l1.fill(block) {
             l1_evicted.push(e.block);
         }
@@ -93,7 +118,6 @@ impl Hierarchy {
                 l1_evicted.push(e.block);
             }
         }
-        l1_evicted
     }
 
     /// Whether `block` is in the L1 (no recency update).

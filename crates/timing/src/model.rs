@@ -17,13 +17,13 @@
 //! dependence, and MSHR availability, then completes after the latency of
 //! the level that satisfied it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use stems_core::engine::{CoverageSim, Counters, Prefetcher, Satisfied};
+use stems_core::engine::{Counters, CoverageSim, Prefetcher, Satisfied};
 use stems_core::PrefetchConfig;
 use stems_memsim::SystemConfig;
 use stems_trace::{Dependence, Trace};
-use stems_types::BlockAddr;
+use stems_types::{fx_map_with_capacity, BlockAddr, FxHashMap};
 
 /// Latency and resource parameters for the timing model.
 #[derive(Clone, Debug, PartialEq)]
@@ -138,7 +138,7 @@ pub fn time_trace<P: Prefetcher>(
     // Next cycle the off-chip fetch port is free.
     let mut bw_free: u64 = 0;
     // Arrival times of in-flight/banked prefetched blocks.
-    let mut ready: HashMap<BlockAddr, u64> = HashMap::new();
+    let mut ready: FxHashMap<BlockAddr, u64> = fx_map_with_capacity(1024);
     let mut end: u64 = 0;
 
     for access in trace.iter() {
@@ -301,11 +301,7 @@ mod tests {
         // Each access is ~96 instructions apart: ROB holds ~1 access, so
         // misses barely overlap.
         let p = params();
-        assert!(
-            r.cycles > 128 * p.fetch_bw_cycles,
-            "cycles = {}",
-            r.cycles
-        );
+        assert!(r.cycles > 128 * p.fetch_bw_cycles, "cycles = {}", r.cycles);
     }
 
     #[test]

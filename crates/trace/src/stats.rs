@@ -90,9 +90,7 @@ mod tests {
         t.read(1, 0); // block 0, region 0
         t.read(1, 64); // block 1, region 0
         t.write(2, 4096); // block 64, region 2
-        t.push(
-            Access::read(Pc::new(3), Addr::new(64)).with_dep(Dependence::OnPrevAccess),
-        );
+        t.push(Access::read(Pc::new(3), Addr::new(64)).with_dep(Dependence::OnPrevAccess));
         let s = t.stats();
         assert_eq!(s.accesses, 4);
         assert_eq!(s.reads, 3);

@@ -1,0 +1,150 @@
+//! A dependency-free FxHash-style hasher for the simulator's hot paths.
+//!
+//! Every predictor table lookup (PHT, PST, AGT, stride, SVB, CMOB/RMOB
+//! index) hashes a small integer key; the standard library's default
+//! SipHash-1-3 pays for DoS resistance these closed-world simulations
+//! never need. [`FxHasher`] is the multiply-xor scheme used by rustc
+//! (firefox's original "Fx" hash): one rotate, one xor, one multiply per
+//! word — several times faster on 8-byte keys, with distribution that is
+//! more than adequate for power-of-two table sizes after the high-bit
+//! mixing multiply.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (derived from pi, as in rustc-hash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast non-cryptographic hasher for small integer-like keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// An [`FxHashMap`] pre-sized for `capacity` entries.
+pub fn fx_map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+/// An [`FxHashSet`] pre-sized for `capacity` entries.
+pub fn fx_set_with_capacity<T>(capacity: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_ne!(hash_one(42u64), hash_one(43u64));
+        assert_ne!(hash_one(0u64), hash_one(1u64));
+    }
+
+    #[test]
+    fn byte_stream_matches_padding_rules() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0, 0]);
+        // Different lengths pad differently only past 8 bytes; the 3- and
+        // 5-byte streams both hash as one padded word here, so this just
+        // pins the padding rule down.
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(16);
+        for i in 0..1000u64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&999], 2997);
+        let mut s: FxHashSet<u64> = fx_set_with_capacity(16);
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn low_bit_spread_over_pow2_buckets() {
+        // Sequential keys must not collapse into few power-of-two buckets.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            buckets[(hash_one(i) & 63) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(min > 500 && max < 1500, "min {min} max {max}");
+    }
+}

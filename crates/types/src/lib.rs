@@ -29,13 +29,19 @@
 
 pub mod addr;
 pub mod counter;
+pub mod hash;
 pub mod pattern;
 pub mod sequence;
+pub mod smallvec;
 
 pub use addr::{Addr, BlockAddr, BlockOffset, Pc, RegionAddr};
 pub use counter::SatCounter;
+pub use hash::{
+    fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
+};
 pub use pattern::SpatialPattern;
 pub use sequence::{Delta, SeqEntry, SpatialSequence};
+pub use smallvec::{FetchList, SmallVec};
 
 /// Bytes per cache block (64B, Table 1).
 pub const BLOCK_BYTES: u64 = 64;

@@ -332,7 +332,11 @@ mod tests {
         // Reinforce to saturation.
         stored.retrain(&seq(&[(7, 0)]));
         stored.retrain(&seq(&[(7, 0)]));
-        assert!(stored.get(BlockOffset::new(7)).unwrap().counter.is_saturated());
+        assert!(stored
+            .get(BlockOffset::new(7))
+            .unwrap()
+            .counter
+            .is_saturated());
         // One glitch: still predicted.
         stored.retrain(&seq(&[(8, 0)]));
         assert!(stored.predicted_pattern().contains(BlockOffset::new(7)));

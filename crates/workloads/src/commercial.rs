@@ -197,8 +197,8 @@ pub fn generate(params: &CommercialParams, seed: u64) -> Trace {
             (0..params.template_len)
                 .map(|j| {
                     let key = (t * params.template_len + j) as u64;
-                    let page = splitmix(key.wrapping_mul(31).wrapping_add(seed))
-                        % params.hot_regions;
+                    let page =
+                        splitmix(key.wrapping_mul(31).wrapping_add(seed)) % params.hot_regions;
                     let table = (splitmix(key ^ 0xABCD) % params.tables as u64) as usize;
                     let record_offsets = (0..params.record_offsets)
                         .map(|k| (4 + (splitmix(key ^ (k as u64 + 1)) % 28)) as u8)
@@ -285,9 +285,8 @@ fn template_visit(
     // Write/read is a fixed property of the step so the *read-miss*
     // sequence repeats too.
     for (k, &offset) in step.record_offsets.iter().enumerate() {
-        let write =
-            (splitmix(step.page ^ ((k as u64 + 9) << 48)) % 1000) as f64 / 1000.0
-                < params.write_prob;
+        let write = (splitmix(step.page ^ ((k as u64 + 9) << 48)) % 1000) as f64 / 1000.0
+            < params.write_prob;
         accesses.push(VisitAccess {
             offset,
             pc: table_pc(step.table, 16 + k),
@@ -298,7 +297,7 @@ fn template_visit(
     // Page-idiosyncratic offset: a fixed function of the page, touched on
     // a fixed (per page) subset of visits — recurs temporally, never
     // stabilizes spatially.
-    if (splitmix(step.page ^ 0x1D10_55) % 1000) as f64 / 1000.0 < params.idio_prob {
+    if (splitmix(step.page ^ 0x1D_1055) % 1000) as f64 / 1000.0 < params.idio_prob {
         let offset = (4 + (splitmix(step.page ^ 0x1D10) % 28)) as u8;
         accesses.push(VisitAccess {
             offset,
@@ -341,7 +340,7 @@ fn random_visit(params: &CommercialParams, r: &mut StdRng) -> Visit {
     for _ in 0..n {
         accesses.push(VisitAccess {
             offset: r.gen_range(0..32),
-            pc: 0x80_0000 + r.gen_range(0..64) * 4,
+            pc: 0x80_0000 + r.gen_range(0u64..64) * 4,
             write: r.gen_bool(0.1),
             work: r.gen_range(params.work.0..=params.work.1),
         });
@@ -385,8 +384,14 @@ mod tests {
     fn oracle_has_more_work_per_access() {
         let p_db2 = CommercialParams::db2().scaled(0.02);
         let p_ora = CommercialParams::oracle().scaled(0.02);
-        let w_db2: u64 = generate(&p_db2, 5).iter().map(|a| a.work_before as u64).sum();
-        let w_ora: u64 = generate(&p_ora, 5).iter().map(|a| a.work_before as u64).sum();
+        let w_db2: u64 = generate(&p_db2, 5)
+            .iter()
+            .map(|a| a.work_before as u64)
+            .sum();
+        let w_ora: u64 = generate(&p_ora, 5)
+            .iter()
+            .map(|a| a.work_before as u64)
+            .sum();
         // Normalize by length.
         let l_db2 = generate(&p_db2, 5).len() as f64;
         let l_ora = generate(&p_ora, 5).len() as f64;

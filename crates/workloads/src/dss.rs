@@ -102,8 +102,7 @@ pub fn generate(params: &DssParams, seed: u64) -> Trace {
     let mut visits: Vec<Visit> = Vec::new();
     for page in 0..params.scan_regions {
         // Scan pages are fresh: scattered placement in their own space.
-        let region =
-            RegionAddr::new(SCAN_SPACE + scatter(page, seed ^ 5, 1 << 26).get());
+        let region = RegionAddr::new(SCAN_SPACE + scatter(page, seed ^ 5, 1 << 26).get());
         let mut offsets: Vec<u8> = layout
             .iter()
             .enumerate()

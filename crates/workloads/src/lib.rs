@@ -155,9 +155,7 @@ impl Workload {
             Workload::Apache => {
                 commercial::generate(&CommercialParams::apache().scaled(scale), seed)
             }
-            Workload::Zeus => {
-                commercial::generate(&CommercialParams::zeus().scaled(scale), seed)
-            }
+            Workload::Zeus => commercial::generate(&CommercialParams::zeus().scaled(scale), seed),
             Workload::Db2 => commercial::generate(&CommercialParams::db2().scaled(scale), seed),
             Workload::Oracle => {
                 commercial::generate(&CommercialParams::oracle().scaled(scale), seed)

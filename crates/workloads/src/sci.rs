@@ -118,8 +118,7 @@ impl OceanParams {
 /// Generates the ocean trace.
 pub fn ocean(params: &OceanParams, seed: u64) -> Trace {
     let mut r = rng(seed);
-    let mut trace =
-        Trace::with_capacity(params.grid_regions as usize * 32 * params.sweeps * 2);
+    let mut trace = Trace::with_capacity(params.grid_regions as usize * 32 * params.sweeps * 2);
     // Two arrays at fixed contiguous bases (grids are contiguous memory).
     let bases = [1u64 << 24, 1u64 << 25];
     for sweep in 0..params.sweeps {
@@ -230,8 +229,8 @@ pub fn sparse(params: &SparseParams, seed: u64) -> Trace {
                 let key = m ^ ((gather as u64 + 1) << 32);
                 let x_region = scatter(splitmix(key) % params.x_regions, seed ^ 31, 1 << 22);
                 let base_off = (splitmix(key ^ 0xF00) % 26) as u8;
-                let mut offsets = vec![base_off, base_off + 2, base_off + 5];
-                if splitmix(key ^ 0x7066_1e) % 2 == 1 {
+                let mut offsets = [base_off, base_off + 2, base_off + 5];
+                if splitmix(key ^ 0x0070_661E) % 2 == 1 {
                     // Half the clusters use the reversed order: identical
                     // every iteration (temporal repetition intact), but
                     // the shared PST entry sees two delta sequences.
@@ -272,11 +271,7 @@ mod tests {
         let p = Em3dParams::default_paper().scaled(0.01);
         let t = em3d(&p, 3);
         let per_iter = t.len() / p.iterations;
-        let first: Vec<u64> = t
-            .iter()
-            .take(per_iter)
-            .map(|a| a.addr.get())
-            .collect();
+        let first: Vec<u64> = t.iter().take(per_iter).map(|a| a.addr.get()).collect();
         let second: Vec<u64> = t
             .iter()
             .skip(per_iter)

@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 
 use stems_trace::Trace;
+use stems_types::RegionAddr;
 use stems_workloads::build::{rng, Interleaver, Visit};
 use stems_workloads::Workload;
-use stems_types::RegionAddr;
 
 fn visit(region: u64, len: u8) -> Visit {
     let parts: Vec<(u8, u64)> = (0..len.clamp(1, 31)).map(|o| (o, 0x400)).collect();

@@ -43,10 +43,7 @@ fn main() {
     let two_pass = index_scan(4096, 2);
     let baseline = CoverageSim::new(&sys, &cfg, NullPrefetcher).run(&two_pass);
     println!("index scan over 4096 scattered pages, two traversals");
-    println!(
-        "baseline: {} off-chip read misses\n",
-        baseline.uncovered
-    );
+    println!("baseline: {} off-chip read misses\n", baseline.uncovered);
 
     let tms = CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg)).run(&two_pass);
     let sms = CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg)).run(&two_pass);

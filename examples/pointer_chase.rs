@@ -40,14 +40,7 @@ fn main() {
     let trace = chase(2048, 4);
 
     let base = time_trace(&sys, &cfg, &params, NullPrefetcher, &trace, None);
-    let tms = time_trace(
-        &sys,
-        &cfg,
-        &params,
-        TmsPrefetcher::new(&cfg),
-        &trace,
-        None,
-    );
+    let tms = time_trace(&sys, &cfg, &params, TmsPrefetcher::new(&cfg), &trace, None);
     let stems = time_trace(
         &sys,
         &cfg,
@@ -58,10 +51,7 @@ fn main() {
     );
 
     println!("pointer chase: 2048-node list, 4 laps, every miss dependent");
-    println!(
-        "{:<10} {:>12} {:>8} {:>10}",
-        "", "cycles", "IPC", "speedup"
-    );
+    println!("{:<10} {:>12} {:>8} {:>10}", "", "cycles", "IPC", "speedup");
     for (name, r) in [("baseline", &base), ("TMS", &tms), ("STeMS", &stems)] {
         println!(
             "{:<10} {:>12} {:>8.3} {:>9.2}x",

@@ -6,7 +6,9 @@
 //! ```
 
 use stems::core::engine::{CoverageSim, NullPrefetcher};
-use stems::core::{PrefetchConfig, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher};
+use stems::core::{
+    PrefetchConfig, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher,
+};
 use stems::harness::runner::system_config;
 use stems::workloads::Workload;
 
@@ -25,7 +27,10 @@ fn main() {
         baseline.uncovered, baseline.accesses
     );
 
-    println!("\n{:<8} {:>10} {:>14} {:>10}", "", "covered", "overpredicted", "fetches");
+    println!(
+        "\n{:<8} {:>10} {:>14} {:>10}",
+        "", "covered", "overpredicted", "fetches"
+    );
     let stride = CoverageSim::new(&sys, &cfg, StridePrefetcher::new(&cfg)).run(&trace);
     let tms = CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg)).run(&trace);
     let sms = CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg)).run(&trace);
@@ -48,8 +53,9 @@ fn main() {
         "\nSTeMS covers {:.1}% vs best underlying {:.1}% — the spatio-temporal \
          hybrid beats either component on OLTP (paper Section 5.5).",
         100.0 * stems.coverage_vs(baseline.uncovered),
-        100.0 * tms
-            .coverage_vs(baseline.uncovered)
-            .max(sms.coverage_vs(baseline.uncovered)),
+        100.0
+            * tms
+                .coverage_vs(baseline.uncovered)
+                .max(sms.coverage_vs(baseline.uncovered)),
     );
 }
