@@ -100,8 +100,12 @@ macro_rules! impl_sample_range_signed {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range in gen_range");
-                let span = (hi as i128 - lo as i128 + 1) as u64;
-                (lo as i128 + reduce(rng.next_u64(), span) as i128) as $t
+                let span = hi as i128 - lo as i128 + 1;
+                if span > u64::MAX as i128 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + reduce(rng.next_u64(), span as u64) as i128) as $t
             }
         }
     )*};

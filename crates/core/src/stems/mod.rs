@@ -17,7 +17,7 @@ pub mod recon;
 pub mod rmob;
 
 pub use pst::Pst;
-pub use recon::{ReconStats, Reconstructor};
+pub use recon::{ReconPool, ReconStats, Reconstructor};
 pub use rmob::{Rmob, RmobEntry};
 
 use std::collections::VecDeque;
@@ -65,6 +65,15 @@ impl Default for ActiveGeneration {
 enum StemsSource {
     Recon(Box<Reconstructor>),
     Fixed(VecDeque<BlockAddr>),
+}
+
+/// Returns a retired stream source's allocations to the arena.
+fn retire_source(pool: &mut ReconPool, source: Option<StemsSource>) {
+    match source {
+        Some(StemsSource::Recon(r)) => pool.put_recon(r),
+        Some(StemsSource::Fixed(q)) => pool.put_deque(q),
+        None => {}
+    }
 }
 
 fn refill_source(
@@ -119,6 +128,9 @@ pub struct StemsPrefetcher {
     /// Regions whose spatial sequence was used during reconstruction, with
     /// the index used — suppresses redundant spatial-only streams.
     recon_predicted: LruTable<RegionAddr, u64>,
+    /// Arena recycling per-stream allocations (reconstruction windows,
+    /// PST-expansion scratch, spatial-only deques) across stream starts.
+    recon_pool: ReconPool,
     /// Global off-chip-class read misses seen (the miss-order clock).
     miss_count: u64,
     /// Miss position of the previous RMOB append.
@@ -142,6 +154,7 @@ impl StemsPrefetcher {
             rmob: Rmob::new(cfg.rmob_entries),
             queues: StreamQueues::new(cfg),
             recon_predicted: LruTable::new(4096),
+            recon_pool: ReconPool::new(),
             miss_count: 0,
             last_rmob_pos: None,
             recon_stats: ReconStats::default(),
@@ -221,6 +234,7 @@ impl Prefetcher for StemsPrefetcher {
             rmob,
             queues,
             recon_predicted,
+            recon_pool,
             miss_count,
             last_rmob_pos,
             recon_stats,
@@ -300,12 +314,15 @@ impl Prefetcher for StemsPrefetcher {
                     && !predicted_at_trigger.is_empty()
                 {
                     if let Some(seq) = pst.peek(index) {
-                        let addrs: VecDeque<BlockAddr> = seq
-                            .predicted()
-                            .filter(|e| e.offset != offset)
-                            .map(|e| region.block_at(e.offset))
-                            .collect();
-                        if !addrs.is_empty() {
+                        let mut addrs = recon_pool.take_deque();
+                        addrs.extend(
+                            seq.predicted()
+                                .filter(|e| e.offset != offset)
+                                .map(|e| region.block_at(e.offset)),
+                        );
+                        if addrs.is_empty() {
+                            recon_pool.put_deque(addrs);
+                        } else {
                             spatial_only = Some(addrs);
                         }
                     }
@@ -314,23 +331,21 @@ impl Prefetcher for StemsPrefetcher {
         }
         if let Some(addrs) = spatial_only {
             *spatial_only_streams += 1;
-            queues.start(StemsSource::Fixed(addrs), sink, &mut |src, n, out| {
+            let (_, retired) = queues.start(StemsSource::Fixed(addrs), sink, &mut |src, n, out| {
                 refill_source(src, n, rmob, pst, recon_predicted, recon_stats, out)
             });
+            retire_source(recon_pool, retired);
         }
 
         // 3. An unpredicted off-chip miss with temporal history starts a
         // reconstructed stream.
         if let Some(pos) = recon_from {
             *recon_streams += 1;
-            let recon = Reconstructor::new(pos, *recon_entries, *recon_search);
-            queues.start(
-                StemsSource::Recon(Box::new(recon)),
-                sink,
-                &mut |src, n, out| {
-                    refill_source(src, n, rmob, pst, recon_predicted, recon_stats, out)
-                },
-            );
+            let recon = recon_pool.take_recon(pos, *recon_entries, *recon_search);
+            let (_, retired) = queues.start(StemsSource::Recon(recon), sink, &mut |src, n, out| {
+                refill_source(src, n, rmob, pst, recon_predicted, recon_stats, out)
+            });
+            retire_source(recon_pool, retired);
         }
     }
 

@@ -138,6 +138,22 @@ impl Reconstructor {
         }
     }
 
+    /// Re-initializes a recycled reconstructor to exactly the state
+    /// [`Reconstructor::new`] would produce, keeping the window and
+    /// PST-expansion scratch allocations.
+    pub fn reset(&mut self, rmob_pos: u64, capacity: usize, search: usize) {
+        self.slots.clear();
+        self.base = 0;
+        self.horizon = 0;
+        self.next_rmob = rmob_pos;
+        self.capacity = capacity;
+        self.search = search;
+        self.primed = false;
+        self.exhausted = false;
+        self.predicted_scratch.clear();
+        self.stats = ReconStats::default();
+    }
+
     fn slot_at(&mut self, abs: u64) -> Option<&mut Option<BlockAddr>> {
         if abs < self.base {
             return None; // already drained past
@@ -318,6 +334,78 @@ impl Reconstructor {
             }
         }
         appended
+    }
+}
+
+/// A reusable arena for per-stream allocations, handed down from the
+/// engine so stream churn stops allocating in steady state.
+///
+/// Every reconstructed stream needs a boxed [`Reconstructor`] (a 256-slot
+/// window deque plus PST-expansion scratch) and every spatial-only stream
+/// a `VecDeque` of fixed addresses. Both live exactly as long as their
+/// stream queue, so when [`crate::streams::StreamQueues::start`] retires a
+/// victim's source, its buffers come back here instead of being freed.
+#[derive(Clone, Debug, Default)]
+pub struct ReconPool {
+    // Deliberately Box: the box moves into `StemsSource::Recon` whole, so
+    // pooling it recycles that allocation too, not just the buffers inside.
+    #[allow(clippy::vec_box)]
+    recons: Vec<Box<Reconstructor>>,
+    deques: Vec<VecDeque<BlockAddr>>,
+}
+
+/// Spare-list bound: the paper runs 8 stream queues, so a few times that
+/// covers every live-plus-retiring stream without hoarding.
+const POOL_CAPACITY: usize = 32;
+
+impl ReconPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A reconstructor initialized as `Reconstructor::new(rmob_pos,
+    /// capacity, search)`, reusing a pooled allocation when available.
+    pub fn take_recon(
+        &mut self,
+        rmob_pos: u64,
+        capacity: usize,
+        search: usize,
+    ) -> Box<Reconstructor> {
+        match self.recons.pop() {
+            Some(mut r) => {
+                r.reset(rmob_pos, capacity, search);
+                r
+            }
+            None => Box::new(Reconstructor::new(rmob_pos, capacity, search)),
+        }
+    }
+
+    /// Returns a retired reconstructor's allocations to the pool.
+    pub fn put_recon(&mut self, recon: Box<Reconstructor>) {
+        if self.recons.len() < POOL_CAPACITY {
+            self.recons.push(recon);
+        }
+    }
+
+    /// An empty deque for a spatial-only stream's fixed addresses,
+    /// reusing a pooled allocation when available.
+    pub fn take_deque(&mut self) -> VecDeque<BlockAddr> {
+        let mut q = self.deques.pop().unwrap_or_default();
+        q.clear();
+        q
+    }
+
+    /// Returns a retired fixed-address deque to the pool.
+    pub fn put_deque(&mut self, deque: VecDeque<BlockAddr>) {
+        if self.deques.len() < POOL_CAPACITY {
+            self.deques.push(deque);
+        }
+    }
+
+    /// Spare allocations currently pooled (diagnostics).
+    pub fn spares(&self) -> (usize, usize) {
+        (self.recons.len(), self.deques.len())
     }
 }
 

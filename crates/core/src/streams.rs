@@ -19,13 +19,81 @@ use crate::PrefetchConfig;
 /// Refill callback: asked to append up to `n` more predicted addresses
 /// from the stream's history source directly onto the queue's pending
 /// deque (no intermediate allocation); returning 0 marks the source
-/// exhausted.
+/// exhausted. A refill must only *append* — the queues maintain an
+/// incremental membership summary over pending blocks and account for
+/// exactly the tail the callback added.
 pub type RefillFn<'a, S> = &'a mut dyn FnMut(&mut S, usize, &mut VecDeque<BlockAddr>) -> usize;
+
+/// Number of counting buckets in a [`Membership`] summary. 64 buckets
+/// fit the reject test in one `u64` bit mask.
+const FILTER_BUCKETS: usize = 64;
+
+/// A compact counting fingerprint over a queue's pending blocks.
+///
+/// `catch_up` runs on every off-chip miss from both TMS and STeMS; most
+/// queues cannot contain the missed block, so a one-word bit test filters
+/// them out before the bounded linear scan. Counts (rather than bare
+/// bits) make removal exact under pops and drains, so the summary never
+/// goes stale: a clear bucket bit *proves* absence, while a set bit only
+/// means "maybe present" (hash collisions, or entries beyond the scan
+/// depth) and falls through to the scan — behavior is byte-identical to
+/// the unfiltered search.
+#[derive(Clone, Debug)]
+struct Membership {
+    counts: [u32; FILTER_BUCKETS],
+    /// Bit `b` set iff `counts[b] > 0`.
+    bits: u64,
+}
+
+impl Default for Membership {
+    fn default() -> Self {
+        Membership {
+            counts: [0; FILTER_BUCKETS],
+            bits: 0,
+        }
+    }
+}
+
+impl Membership {
+    /// Fibonacci-hash bucket: the top 6 bits of a golden-ratio multiply
+    /// spread sequential block addresses across buckets.
+    fn bucket(block: BlockAddr) -> usize {
+        (block.get().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
+    }
+
+    fn add(&mut self, block: BlockAddr) {
+        let b = Self::bucket(block);
+        self.counts[b] += 1;
+        self.bits |= 1 << b;
+    }
+
+    fn remove(&mut self, block: BlockAddr) {
+        let b = Self::bucket(block);
+        debug_assert!(self.counts[b] > 0, "membership filter underflow");
+        self.counts[b] -= 1;
+        if self.counts[b] == 0 {
+            self.bits &= !(1 << b);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.counts = [0; FILTER_BUCKETS];
+        self.bits = 0;
+    }
+
+    /// Whether `block` may be among the summarized pending entries. A
+    /// `false` return is definitive.
+    fn maybe_contains(&self, block: BlockAddr) -> bool {
+        self.bits & (1 << Self::bucket(block)) != 0
+    }
+}
 
 #[derive(Clone, Debug)]
 struct Queue<S> {
     source: Option<S>,
     pending: VecDeque<BlockAddr>,
+    /// Incremental summary of `pending` (see [`Membership`]).
+    filter: Membership,
     inflight: usize,
     confirmed: bool,
     exhausted: bool,
@@ -37,11 +105,39 @@ impl<S> Default for Queue<S> {
         Queue {
             source: None,
             pending: VecDeque::new(),
+            filter: Membership::default(),
             inflight: 0,
             confirmed: false,
             exhausted: true,
             last_active: 0,
         }
+    }
+}
+
+impl<S> Queue<S> {
+    /// Runs `refill` on this queue's pending deque and accounts the
+    /// appended tail into the membership summary.
+    fn refill_pending(&mut self, refill: RefillFn<'_, S>, n: usize) -> usize {
+        let Some(source) = self.source.as_mut() else {
+            return 0;
+        };
+        let before = self.pending.len();
+        let appended = refill(source, n, &mut self.pending);
+        debug_assert!(
+            self.pending.len() == before + appended,
+            "refill must only append to the pending deque"
+        );
+        for i in before..self.pending.len() {
+            self.filter.add(self.pending[i]);
+        }
+        appended
+    }
+
+    /// Pops the front pending block, keeping the summary in sync.
+    fn pop_pending(&mut self) -> Option<BlockAddr> {
+        let block = self.pending.pop_front()?;
+        self.filter.remove(block);
+        Some(block)
     }
 }
 
@@ -89,6 +185,29 @@ impl<S> StreamQueues<S> {
         self.clock
     }
 
+    /// The bounded linear scan `catch_up` falls back to once the
+    /// membership filter admits a queue: position of `block` within the
+    /// first [`Self::SEARCH_DEPTH`] pending entries, scanning the deque's
+    /// two contiguous halves directly — slice scans of u64 newtypes
+    /// vectorize where the VecDeque iterator does not.
+    fn scan_pending(pending: &VecDeque<BlockAddr>, block: BlockAddr) -> Option<usize> {
+        let (front, back) = pending.as_slices();
+        let front_take = front.len().min(Self::SEARCH_DEPTH);
+        front[..front_take]
+            .iter()
+            .position(|&b| b == block)
+            .or_else(|| {
+                let back_take = back.len().min(Self::SEARCH_DEPTH - front_take);
+                back[..back_take]
+                    .iter()
+                    .position(|&b| b == block)
+                    .map(|k| front_take + k)
+            })
+    }
+
+    /// How deep into each queue's pending entries `catch_up` searches.
+    const SEARCH_DEPTH: usize = 64;
+
     fn victim(&self) -> usize {
         // Prefer a fully idle queue; otherwise LRU by activity.
         self.queues
@@ -105,12 +224,16 @@ impl<S> StreamQueues<S> {
     /// Allocates a queue for a new stream with history source `source`,
     /// flushing the victim queue's unconsumed SVB blocks. Fetches a single
     /// block (new streams are unconfirmed).
+    ///
+    /// Returns the tag and the victim queue's retired source (if it still
+    /// had one), so the caller can recycle its allocations — STeMS pools
+    /// `Reconstructor` buffers across stream starts this way.
     pub fn start(
         &mut self,
         source: S,
         sink: &mut dyn PrefetchSink,
         refill: RefillFn<'_, S>,
-    ) -> StreamTag {
+    ) -> (StreamTag, Option<S>) {
         let idx = self.victim();
         let tag = StreamTag(idx as u8);
         sink.flush_stream(tag);
@@ -118,15 +241,16 @@ impl<S> StreamQueues<S> {
         // Reset the victim queue in place: `pending` keeps its buffer, so
         // steady-state stream churn performs no allocation.
         let q = &mut self.queues[idx];
-        q.source = Some(source);
+        let retired = q.source.replace(source);
         q.pending.clear();
+        q.filter.clear();
         q.inflight = 0;
         q.confirmed = false;
         q.exhausted = false;
         q.last_active = now;
         self.streams_started += 1;
         self.pump(tag, sink, refill);
-        tag
+        (tag, retired)
     }
 
     /// Notification that a block of stream `tag` was consumed from the SVB:
@@ -159,32 +283,28 @@ impl<S> StreamQueues<S> {
         sink: &mut dyn PrefetchSink,
         refill: RefillFn<'_, S>,
     ) -> Option<StreamTag> {
-        const SEARCH_DEPTH: usize = 64;
         let mut found = None;
         for (i, q) in self.queues.iter().enumerate() {
-            // Scan the deque's two contiguous halves directly: this runs
-            // for every off-chip miss, and slice scans of u64 newtypes
-            // vectorize where the VecDeque iterator does not.
-            let (front, back) = q.pending.as_slices();
-            let front_take = front.len().min(SEARCH_DEPTH);
-            let k = front[..front_take]
-                .iter()
-                .position(|&b| b == block)
-                .or_else(|| {
-                    let back_take = back.len().min(SEARCH_DEPTH - front_take);
-                    back[..back_take]
-                        .iter()
-                        .position(|&b| b == block)
-                        .map(|k| front_take + k)
-                });
-            if let Some(k) = k {
+            // One-word reject: most queues provably do not hold the block,
+            // so the bounded scan below runs only on candidate queues.
+            if !q.filter.maybe_contains(block) {
+                continue;
+            }
+            if let Some(k) = Self::scan_pending(&q.pending, block) {
                 found = Some((i, k));
                 break;
             }
         }
         let (i, k) = found?;
         let q = &mut self.queues[i];
-        q.pending.drain(..=k);
+        {
+            let Queue {
+                pending, filter, ..
+            } = q;
+            for b in pending.drain(..=k) {
+                filter.remove(b);
+            }
+        }
         q.confirmed = true;
         let now = self.tick();
         self.queues[i].last_active = now;
@@ -220,18 +340,15 @@ impl<S> StreamQueues<S> {
                 break;
             }
             if q.pending.is_empty() {
-                if q.exhausted {
+                if q.exhausted || q.source.is_none() {
                     break;
                 }
-                let Some(source) = q.source.as_mut() else {
-                    break;
-                };
-                if refill(source, self.refill_chunk, &mut q.pending) == 0 {
+                if q.refill_pending(refill, self.refill_chunk) == 0 {
                     q.exhausted = true;
                     break;
                 }
             }
-            let block = q.pending.pop_front().expect("pending nonempty");
+            let block = q.pop_pending().expect("pending nonempty");
             attempts -= 1;
             if sink.fetch_svb(block, tag) {
                 q.inflight += 1;
@@ -239,12 +356,12 @@ impl<S> StreamQueues<S> {
         }
         // Top up pending so the next consumption can stream immediately.
         let q = &mut self.queues[idx];
-        if !q.exhausted && q.pending.len() < self.refill_threshold {
-            if let Some(source) = q.source.as_mut() {
-                if refill(source, self.refill_chunk, &mut q.pending) == 0 {
-                    q.exhausted = true;
-                }
-            }
+        if !q.exhausted
+            && q.source.is_some()
+            && q.pending.len() < self.refill_threshold
+            && q.refill_pending(refill, self.refill_chunk) == 0
+        {
+            q.exhausted = true;
         }
     }
 }
@@ -326,7 +443,9 @@ mod tests {
     fn confirmation_opens_lookahead() {
         let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
         let mut sink = RecordingSink::default();
-        let tag = qs.start(Counting { next: 0, end: 100 }, &mut sink, &mut refill);
+        let tag = qs
+            .start(Counting { next: 0, end: 100 }, &mut sink, &mut refill)
+            .0;
         qs.on_consumed(tag, &mut sink, &mut refill);
         // After consuming the probe block, the stream fills to lookahead=4.
         assert_eq!(sink.fetched.len(), 1 + 4);
@@ -336,7 +455,9 @@ mod tests {
     fn exhausted_source_stops_stream() {
         let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
         let mut sink = RecordingSink::default();
-        let tag = qs.start(Counting { next: 0, end: 2 }, &mut sink, &mut refill);
+        let tag = qs
+            .start(Counting { next: 0, end: 2 }, &mut sink, &mut refill)
+            .0;
         qs.on_consumed(tag, &mut sink, &mut refill);
         qs.on_consumed(tag, &mut sink, &mut refill);
         qs.on_consumed(tag, &mut sink, &mut refill);
@@ -347,20 +468,24 @@ mod tests {
     fn victim_is_lru_and_flushed() {
         let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
         let mut sink = RecordingSink::default();
-        let t0 = qs.start(Counting { next: 0, end: 10 }, &mut sink, &mut refill);
-        let t1 = qs.start(
-            Counting {
-                next: 100,
-                end: 110,
-            },
-            &mut sink,
-            &mut refill,
-        );
+        let t0 = qs
+            .start(Counting { next: 0, end: 10 }, &mut sink, &mut refill)
+            .0;
+        let t1 = qs
+            .start(
+                Counting {
+                    next: 100,
+                    end: 110,
+                },
+                &mut sink,
+                &mut refill,
+            )
+            .0;
         assert_ne!(t0, t1);
         // Touch t0 so t1 becomes LRU.
         qs.on_consumed(t0, &mut sink, &mut refill);
         sink.flushed.clear();
-        let t2 = qs.start(
+        let (t2, retired) = qs.start(
             Counting {
                 next: 200,
                 end: 210,
@@ -369,6 +494,7 @@ mod tests {
             &mut refill,
         );
         assert_eq!(t2, t1, "LRU stream should be victimized");
+        assert!(retired.is_some(), "victim's source is handed back");
         assert_eq!(sink.flushed, vec![t1]);
     }
 
@@ -377,7 +503,9 @@ mod tests {
         let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
         let mut sink = RecordingSink::default();
         sink.resident.insert(0); // block 0 already resident -> refused
-        let tag = qs.start(Counting { next: 0, end: 100 }, &mut sink, &mut refill);
+        let tag = qs
+            .start(Counting { next: 0, end: 100 }, &mut sink, &mut refill)
+            .0;
         // Probe skipped block 0 and fetched block 1 instead.
         assert_eq!(sink.fetched, vec![(BlockAddr::new(1), tag)]);
     }
@@ -386,12 +514,92 @@ mod tests {
     fn svb_eviction_reduces_inflight_and_allows_refetch() {
         let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg());
         let mut sink = RecordingSink::default();
-        let tag = qs.start(Counting { next: 0, end: 100 }, &mut sink, &mut refill);
+        let tag = qs
+            .start(Counting { next: 0, end: 100 }, &mut sink, &mut refill)
+            .0;
         qs.on_consumed(tag, &mut sink, &mut refill); // inflight = 4
         qs.on_svb_evicted(tag); // inflight = 3
         let before = sink.fetched.len();
         qs.on_consumed(tag, &mut sink, &mut refill); // inflight 2 -> fill to 4
         assert_eq!(sink.fetched.len(), before + 2);
+    }
+
+    /// Recomputes every queue's membership summary from scratch and
+    /// asserts the incrementally maintained one matches exactly.
+    fn assert_filters_consistent(qs: &StreamQueues<Counting>) {
+        for (i, q) in qs.queues.iter().enumerate() {
+            let mut counts = [0u32; FILTER_BUCKETS];
+            for &b in &q.pending {
+                counts[Membership::bucket(b)] += 1;
+            }
+            assert_eq!(
+                counts, q.filter.counts,
+                "queue {i}: filter counts drifted from pending contents"
+            );
+            let bits = counts
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (b, &c)| if c > 0 { acc | 1 << b } else { acc });
+            assert_eq!(bits, q.filter.bits, "queue {i}: filter bit mask stale");
+        }
+    }
+
+    /// What an unfiltered `catch_up` would find: the first queue (in
+    /// index order) whose bounded scan locates `block`.
+    fn oracle_catch_up(qs: &StreamQueues<Counting>, block: BlockAddr) -> Option<StreamTag> {
+        qs.queues
+            .iter()
+            .position(|q| StreamQueues::<Counting>::scan_pending(&q.pending, block).is_some())
+            .map(|i| StreamTag(i as u8))
+    }
+
+    /// Property test: under random start / pump / consume / evict / reset
+    /// sequences, the membership filter returns exactly what a
+    /// linear-scan oracle returns, and never goes stale.
+    #[test]
+    fn catch_up_filter_matches_linear_scan_oracle() {
+        use crate::util::XorShift64;
+
+        for seed in 0..12u64 {
+            let mut rng = XorShift64::new(0xF117E12 ^ seed);
+            let cfg = PrefetchConfig {
+                stream_queues: 1 + (seed as usize % 4),
+                lookahead: 4,
+                refill_threshold: 2,
+                refill_chunk: 4,
+                ..PrefetchConfig::small()
+            };
+            let mut qs: StreamQueues<Counting> = StreamQueues::new(&cfg);
+            let mut sink = RecordingSink::default();
+            for _step in 0..2500u32 {
+                let tag = StreamTag(rng.below(cfg.stream_queues as u64) as u8);
+                match rng.below(10) {
+                    0..=2 => {
+                        // Start (resets the victim queue and its filter).
+                        let next = rng.below(40);
+                        let end = next + 1 + rng.below(16);
+                        qs.start(Counting { next, end }, &mut sink, &mut refill);
+                    }
+                    3..=5 => {
+                        // Consumption pumps (pops + refills) a queue.
+                        qs.on_consumed(tag, &mut sink, &mut refill);
+                    }
+                    6..=8 => {
+                        let block = BlockAddr::new(rng.below(48));
+                        let expect = oracle_catch_up(&qs, block);
+                        let got = qs.catch_up(block, &mut sink, &mut refill);
+                        assert_eq!(
+                            got, expect,
+                            "catch_up({block:?}) diverged from the scan oracle (seed {seed})"
+                        );
+                    }
+                    _ => {
+                        qs.on_svb_evicted(tag);
+                    }
+                }
+                assert_filters_consistent(&qs);
+            }
+        }
     }
 
     #[test]

@@ -97,11 +97,17 @@ impl Prefetcher for TmsPrefetcher {
                 cmob.append(ev.block);
                 if !caught {
                     if let Some(pos) = found {
-                        queues.start(CmobCursor { next: pos + 1 }, sink, &mut |cursor, n, out| {
-                            let read = cmob.read_from_into(cursor.next, n, out);
-                            cursor.next += read as u64;
-                            read
-                        });
+                        // CmobCursor is Copy: nothing to recycle from the
+                        // retired source.
+                        let _ = queues.start(
+                            CmobCursor { next: pos + 1 },
+                            sink,
+                            &mut |cursor, n, out| {
+                                let read = cmob.read_from_into(cursor.next, n, out);
+                                cursor.next += read as u64;
+                                read
+                            },
+                        );
                     }
                 }
             }

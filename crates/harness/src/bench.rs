@@ -152,6 +152,84 @@ pub fn to_json(settings: Settings, measurements: &[Measurement]) -> String {
     s
 }
 
+/// Parses a report written by [`to_json`] back into `(name, value)`
+/// pairs. This is a line-oriented reader of our own fixed writer format,
+/// not a general JSON parser — each measurement sits on one line as
+/// `{"name": "...", "value": N, "unit": "..."}`.
+pub fn parse_report(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_at) = line.find("\"name\":") else {
+            continue;
+        };
+        let rest = &line[name_at + 7..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else {
+            continue;
+        };
+        let name = &rest[open + 1..open + 1 + close];
+        let Some(value_at) = line.find("\"value\":") else {
+            continue;
+        };
+        let value_str: String = line[value_at + 8..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        let Ok(value) = value_str.parse::<f64>() else {
+            continue;
+        };
+        out.push((name.to_string(), value));
+    }
+    out
+}
+
+/// One step-throughput comparison between a baseline report and a fresh
+/// run (see [`check_regressions`]).
+#[derive(Clone, Debug)]
+pub struct RegressionLine {
+    /// Metric name (`step_throughput/...`).
+    pub name: String,
+    /// Baseline accesses/second.
+    pub baseline: f64,
+    /// Current accesses/second.
+    pub current: f64,
+    /// `baseline / current` (>1 means slower than baseline).
+    pub slowdown: f64,
+    /// Whether the slowdown exceeds the allowed factor.
+    pub failed: bool,
+}
+
+/// Compares every `step_throughput/` metric present in both reports.
+/// A metric fails when the current run is more than `max_slowdown`×
+/// slower than baseline — the tolerance is deliberately generous (CI VMs
+/// are ±30% noisy run-to-run); the gate exists to catch gross hot-path
+/// regressions, not to benchmark.
+pub fn check_regressions(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    max_slowdown: f64,
+) -> Vec<RegressionLine> {
+    let mut out = Vec::new();
+    for (name, base) in baseline {
+        if !name.starts_with("step_throughput/") || *base <= 0.0 {
+            continue;
+        }
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let slowdown = base / cur.max(f64::MIN_POSITIVE);
+        out.push(RegressionLine {
+            name: name.clone(),
+            baseline: *base,
+            current: *cur,
+            slowdown,
+            failed: slowdown > max_slowdown,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +274,56 @@ mod tests {
     #[test]
     fn peak_rss_does_not_panic() {
         let _ = peak_rss_kb();
+    }
+
+    #[test]
+    fn parse_report_round_trips_to_json() {
+        let settings = Settings {
+            scale: 0.01,
+            seed: 1,
+            ..Settings::default()
+        };
+        let ms = vec![
+            Measurement {
+                name: "step_throughput/DB2/STeMS".into(),
+                value: 1234567.891,
+                unit: "accesses_per_sec",
+            },
+            Measurement {
+                name: "figure/fig9/wall".into(),
+                value: 0.25,
+                unit: "seconds",
+            },
+        ];
+        let parsed = parse_report(&to_json(settings, &ms));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "step_throughput/DB2/STeMS");
+        assert!((parsed[0].1 - 1234567.891).abs() < 1e-6);
+        assert!((parsed[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_check_flags_only_gross_slowdowns() {
+        let baseline = vec![
+            ("step_throughput/DB2/STeMS".to_string(), 1000.0),
+            ("step_throughput/DB2/TMS".to_string(), 1000.0),
+            ("figure/fig9/wall".to_string(), 1.0), // not a throughput: ignored
+        ];
+        let current = vec![
+            ("step_throughput/DB2/STeMS".to_string(), 500.0), // 2.0x: within tolerance
+            ("step_throughput/DB2/TMS".to_string(), 300.0),   // 3.3x: regression
+        ];
+        let lines = check_regressions(&baseline, &current, 2.5);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].failed);
+        assert!(lines[1].failed);
+        assert!((lines[1].slowdown - 1000.0 / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_check_skips_metrics_missing_from_current() {
+        let baseline = vec![("step_throughput/DB2/SMS".to_string(), 1000.0)];
+        let lines = check_regressions(&baseline, &[], 2.5);
+        assert!(lines.is_empty());
     }
 }

@@ -1,0 +1,73 @@
+//! CI perf gate: compares a fresh `BENCH_smoke.json` against the
+//! committed baseline and fails (exit 1) only on gross step-throughput
+//! regressions.
+//!
+//! Usage: `cargo run --release -p stems-harness --bin bench_check --
+//! --baseline tools/bench_baseline.json --current BENCH_smoke.json
+//! [--max-slowdown 2.5]`
+//!
+//! The tolerance is deliberately generous: bench numbers come from noisy
+//! shared VMs (±30% run-to-run on the same binary), so the gate is a
+//! tripwire for order-of-magnitude hot-path mistakes (an accidental
+//! O(n²), a lost inline, a debug build), not a benchmark.
+
+use stems_harness::bench;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path =
+        arg_value(&args, "--baseline").unwrap_or_else(|| "tools/bench_baseline.json".to_string());
+    let current_path =
+        arg_value(&args, "--current").unwrap_or_else(|| "BENCH_smoke.json".to_string());
+    let max_slowdown: f64 = arg_value(&args, "--max-slowdown")
+        .map(|s| s.parse().expect("--max-slowdown takes a float"))
+        .unwrap_or(2.5);
+
+    let read = |path: &str| -> Vec<(String, f64)> {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
+        bench::parse_report(&json)
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+    assert!(
+        baseline
+            .iter()
+            .any(|(n, _)| n.starts_with("step_throughput/")),
+        "bench_check: no step_throughput metrics in baseline {baseline_path}"
+    );
+
+    let lines = bench::check_regressions(&baseline, &current, max_slowdown);
+    assert!(
+        !lines.is_empty(),
+        "bench_check: no comparable step_throughput metrics between {baseline_path} and {current_path}"
+    );
+    eprintln!(
+        "bench_check: {} metrics, max allowed slowdown {max_slowdown}x ({baseline_path} -> {current_path})",
+        lines.len()
+    );
+    let mut failed = 0;
+    for l in &lines {
+        eprintln!(
+            "  {} {:<40} baseline {:>14.0}/s current {:>14.0}/s slowdown {:>5.2}x",
+            if l.failed { "FAIL" } else { "  ok" },
+            l.name,
+            l.baseline,
+            l.current,
+            l.slowdown,
+        );
+        failed += l.failed as usize;
+    }
+    if failed > 0 {
+        eprintln!("bench_check: {failed} metric(s) regressed more than {max_slowdown}x");
+        std::process::exit(1);
+    }
+    eprintln!("bench_check: ok");
+}

@@ -26,16 +26,27 @@ pub struct CacheOutcome {
     pub evicted: Option<Evicted>,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    block: BlockAddr,
-    dirty: bool,
-}
+/// Recency rank marking an unoccupied way. Real ranks are `0..assoc`,
+/// so `new` asserts `assoc < u16::MAX`.
+const FREE_WAY: u16 = u16::MAX;
+
+/// Block value stored in unoccupied ways. No demand access can name it:
+/// it would require a byte address of at least 2^70.
+const SENTINEL_BLOCK: BlockAddr = BlockAddr::new(u64::MAX);
 
 /// A set-associative cache with true-LRU replacement.
 ///
 /// Stores block presence and dirtiness only — a trace-driven simulator has
 /// no data values. All operations are O(associativity).
+///
+/// Sets are fixed-capacity windows of flat per-field arrays (blocks,
+/// recency ranks, dirty bits), with recency an intrusive per-way age
+/// rank — 0 = MRU, `occupancy - 1` = LRU. Touching a way adjusts ranks
+/// in place instead of memmoving an MRU-first Vec, so a 16-way touch
+/// never shifts 15 lines. Unoccupied ways hold a sentinel block that no
+/// demand access can name, so the hot residency scan is an unconditional
+/// pass over one contiguous fixed-width `u64` window — no occupancy
+/// load, no validity branches.
 ///
 /// # Example
 ///
@@ -49,8 +60,13 @@ struct Line {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Cache {
-    /// Per-set lines ordered MRU-first.
-    sets: Vec<Vec<Line>>,
+    /// Resident blocks, `associativity` consecutive ways per set;
+    /// unoccupied ways hold [`SENTINEL_BLOCK`].
+    blocks: Box<[BlockAddr]>,
+    /// Recency rank per way: 0 = MRU; [`FREE_WAY`] marks an empty way.
+    ages: Box<[u16]>,
+    /// Dirty bit per way.
+    dirty: Box<[bool]>,
     set_mask: u64,
     associativity: usize,
     hits: u64,
@@ -62,11 +78,19 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate (see [`CacheConfig::num_sets`]).
+    /// Panics if the geometry is degenerate (see [`CacheConfig::num_sets`])
+    /// or the associativity exceeds the `u16` rank range.
     pub fn new(config: &CacheConfig) -> Self {
         let num_sets = config.num_sets();
+        assert!(
+            config.associativity < FREE_WAY as usize,
+            "associativity exceeds rank range"
+        );
+        let ways = num_sets * config.associativity;
         Cache {
-            sets: vec![Vec::with_capacity(config.associativity); num_sets],
+            blocks: vec![SENTINEL_BLOCK; ways].into_boxed_slice(),
+            ages: vec![FREE_WAY; ways].into_boxed_slice(),
+            dirty: vec![false; ways].into_boxed_slice(),
             set_mask: num_sets as u64 - 1,
             associativity: config.associativity,
             hits: 0,
@@ -76,6 +100,78 @@ impl Cache {
 
     fn set_index(&self, block: BlockAddr) -> usize {
         (block.get() & self.set_mask) as usize
+    }
+
+    /// Way-array base of the set holding `block`.
+    fn set_base(&self, block: BlockAddr) -> usize {
+        self.set_index(block) * self.associativity
+    }
+
+    /// Position of `block` among the set's ways: one unconditional scan
+    /// of a contiguous fixed-width `u64` window (free ways hold the
+    /// unmatchable sentinel). Written without an early exit so the
+    /// compare loop vectorizes; resident blocks are unique in a set, so
+    /// at most one way matches.
+    fn find(&self, base: usize, block: BlockAddr) -> Option<usize> {
+        let ways = &self.blocks[base..base + self.associativity];
+        let mut found = usize::MAX;
+        for (w, &b) in ways.iter().enumerate() {
+            if b == block {
+                found = w;
+            }
+        }
+        (found != usize::MAX).then_some(found)
+    }
+
+    /// Promotes way `base + w` to MRU by bumping every younger way's
+    /// rank. Free ways (rank [`FREE_WAY`]) are never younger.
+    fn touch(&mut self, base: usize, w: usize) {
+        let age = self.ages[base + w];
+        if age == 0 {
+            return;
+        }
+        for a in &mut self.ages[base..base + self.associativity] {
+            if *a < age {
+                *a += 1;
+            }
+        }
+        self.ages[base + w] = 0;
+    }
+
+    /// Installs `block` in the first free way, or in the LRU way when the
+    /// set is full (reporting the victim). New lines enter at MRU.
+    fn install(&mut self, block: BlockAddr, is_dirty: bool) -> Option<Evicted> {
+        let base = self.set_base(block);
+        let assoc = self.associativity;
+        let ages = &self.ages[base..base + assoc];
+        let lru_rank = (assoc - 1) as u16;
+        let mut way = None; // first free way, else the LRU way
+        for (w, &a) in ages.iter().enumerate() {
+            if a == FREE_WAY {
+                way = Some((w, false));
+                break;
+            }
+            if a == lru_rank {
+                way = Some((w, true));
+                // A free way further right may still exist; keep looking.
+            }
+        }
+        let (w, full) = way.expect("a set always has a free or an LRU way");
+        let evicted = full.then(|| Evicted {
+            block: self.blocks[base + w],
+            dirty: self.dirty[base + w],
+        });
+        // Bump every resident rank; the chosen way is then written at
+        // rank 0, keeping ranks a permutation of 0..occupancy.
+        for a in &mut self.ages[base..base + assoc] {
+            if *a != FREE_WAY {
+                *a += 1;
+            }
+        }
+        self.blocks[base + w] = block;
+        self.ages[base + w] = 0;
+        self.dirty[base + w] = is_dirty;
+        evicted
     }
 
     /// Performs a demand access, allocating on miss.
@@ -101,12 +197,10 @@ impl Cache {
     /// miss has no side effects — pair with [`Cache::miss_fill`] to
     /// complete the access without re-scanning the set.
     pub fn access_hit(&mut self, block: BlockAddr, is_write: bool) -> bool {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|l| l.block == block) {
-            let mut line = set.remove(pos);
-            line.dirty |= is_write;
-            set.insert(0, line);
+        let base = self.set_base(block);
+        if let Some(w) = self.find(base, block) {
+            self.dirty[base + w] |= is_write;
+            self.touch(base, w);
             self.hits += 1;
             return true;
         }
@@ -118,30 +212,12 @@ impl Cache {
     /// The caller must already know the block is absent (via
     /// [`Cache::access_hit`] returning `false`).
     pub fn miss_fill(&mut self, block: BlockAddr, is_write: bool) -> Option<Evicted> {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
         debug_assert!(
-            set.iter().all(|l| l.block != block),
+            self.find(self.set_base(block), block).is_none(),
             "miss_fill on a resident block"
         );
         self.misses += 1;
-        let evicted = if set.len() == self.associativity {
-            let victim = set.pop().expect("full set has a victim");
-            Some(Evicted {
-                block: victim.block,
-                dirty: victim.dirty,
-            })
-        } else {
-            None
-        };
-        set.insert(
-            0,
-            Line {
-                block,
-                dirty: is_write,
-            },
-        );
-        evicted
+        self.install(block, is_write)
     }
 
     /// Inserts a block without counting a demand hit/miss (prefetch fill).
@@ -149,44 +225,33 @@ impl Cache {
     /// Returns the eviction if one occurred. If the block is already
     /// present it is refreshed to MRU and `None` is returned.
     pub fn fill(&mut self, block: BlockAddr) -> Option<Evicted> {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|l| l.block == block) {
-            let line = set.remove(pos);
-            set.insert(0, line);
+        let base = self.set_base(block);
+        if let Some(w) = self.find(base, block) {
+            self.touch(base, w);
             return None;
         }
-        let evicted = if set.len() == self.associativity {
-            let victim = set.pop().expect("full set has a victim");
-            Some(Evicted {
-                block: victim.block,
-                dirty: victim.dirty,
-            })
-        } else {
-            None
-        };
-        set.insert(
-            0,
-            Line {
-                block,
-                dirty: false,
-            },
-        );
-        evicted
+        self.install(block, false)
     }
 
     /// Whether `block` is present (no recency update).
     pub fn contains(&self, block: BlockAddr) -> bool {
-        let idx = self.set_index(block);
-        self.sets[idx].iter().any(|l| l.block == block)
+        self.find(self.set_base(block), block).is_some()
     }
 
     /// Removes `block` if present; returns whether it was present.
+    /// Older ranks close up over the departed one.
     pub fn invalidate(&mut self, block: BlockAddr) -> bool {
-        let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|l| l.block == block) {
-            set.remove(pos);
+        let base = self.set_base(block);
+        if let Some(w) = self.find(base, block) {
+            let age = self.ages[base + w];
+            self.blocks[base + w] = SENTINEL_BLOCK;
+            self.ages[base + w] = FREE_WAY;
+            self.dirty[base + w] = false;
+            for a in &mut self.ages[base..base + self.associativity] {
+                if *a != FREE_WAY && *a > age {
+                    *a -= 1;
+                }
+            }
             true
         } else {
             false
@@ -205,12 +270,12 @@ impl Cache {
 
     /// Number of lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.ages.iter().filter(|&&a| a != FREE_WAY).count()
     }
 
     /// Total line capacity.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.associativity
+        self.blocks.len()
     }
 }
 
@@ -317,5 +382,27 @@ mod tests {
         c.access(BlockAddr::new(5), false); // evicts 1, not 0
         assert!(c.contains(BlockAddr::new(0)));
         assert!(!c.contains(BlockAddr::new(1)));
+    }
+
+    #[test]
+    fn invalidate_in_the_middle_preserves_lru_order() {
+        // 4 ways in one set: fill, invalidate a middle-recency line, then
+        // check the eviction order of the survivors is unchanged.
+        let mut c = Cache::new(&CacheConfig {
+            size_bytes: 4 * 64,
+            associativity: 4,
+        });
+        for b in [0u64, 4, 8, 12] {
+            c.access(BlockAddr::new(b), false);
+        }
+        // Recency now (MRU..LRU): 12, 8, 4, 0.
+        assert!(c.invalidate(BlockAddr::new(8)));
+        // A new block fills the free way without evicting.
+        assert_eq!(c.access(BlockAddr::new(16), false).evicted, None);
+        // Next allocation evicts 0 (still LRU), then 4.
+        let e = c.access(BlockAddr::new(20), false).evicted.unwrap();
+        assert_eq!(e.block, BlockAddr::new(0));
+        let e = c.access(BlockAddr::new(24), false).evicted.unwrap();
+        assert_eq!(e.block, BlockAddr::new(4));
     }
 }

@@ -23,20 +23,102 @@ impl RefCache {
         }
     }
 
-    fn access(&mut self, block: u64) -> bool {
+    /// Returns `(hit, evicted)`.
+    fn access(&mut self, block: u64) -> (bool, Option<u64>) {
         let set = &mut self.sets[(block & self.mask) as usize];
         if let Some(pos) = set.iter().position(|&b| b == block) {
             set.remove(pos);
             set.insert(0, block);
+            (true, None)
+        } else {
+            let evicted = if set.len() == self.assoc {
+                set.pop()
+            } else {
+                None
+            };
+            set.insert(0, block);
+            (false, evicted)
+        }
+    }
+
+    fn fill(&mut self, block: u64) -> Option<u64> {
+        let set = &mut self.sets[(block & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            let b = set.remove(pos);
+            set.insert(0, b);
+            return None;
+        }
+        let evicted = if set.len() == self.assoc {
+            set.pop()
+        } else {
+            None
+        };
+        set.insert(0, block);
+        evicted
+    }
+
+    fn invalidate(&mut self, block: u64) -> bool {
+        let set = &mut self.sets[(block & self.mask) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set.remove(pos);
             true
         } else {
-            if set.len() == self.assoc {
-                set.pop();
-            }
-            set.insert(0, block);
             false
         }
     }
+}
+
+/// Drives the production cache and the MRU-first Vec reference through an
+/// identical op sequence at the given associativity, asserting identical
+/// hit/miss outcomes and identical eviction order. Returns the compat
+/// `prop_assert*` error string so callers inside `proptest!` can `?` it.
+fn check_against_reference(assoc: usize, ops: &[(u64, u8)]) -> Result<(), String> {
+    let sets = 4usize;
+    let cfg = CacheConfig {
+        size_bytes: (sets * assoc * 64) as u64,
+        associativity: assoc,
+    };
+    let mut cache = Cache::new(&cfg);
+    let mut reference = RefCache::new(sets, assoc);
+    for &(b, op) in ops {
+        let block = BlockAddr::new(b);
+        match op {
+            0 => {
+                let got = cache.access(block, false);
+                let (want_hit, want_evicted) = reference.access(b);
+                prop_assert_eq!(got.hit, want_hit, "hit/miss diverged at block {}", b);
+                prop_assert_eq!(
+                    got.evicted.map(|e| e.block.get()),
+                    want_evicted,
+                    "eviction order diverged at block {} (assoc {})",
+                    b,
+                    assoc
+                );
+            }
+            1 => {
+                let got = cache.fill(block);
+                let want = reference.fill(b);
+                prop_assert_eq!(
+                    got.map(|e| e.block.get()),
+                    want,
+                    "fill eviction diverged at block {} (assoc {})",
+                    b,
+                    assoc
+                );
+            }
+            _ => {
+                prop_assert_eq!(
+                    cache.invalidate(block),
+                    reference.invalidate(b),
+                    "invalidate diverged at block {} (assoc {})",
+                    b,
+                    assoc
+                );
+            }
+        }
+        prop_assert_eq!(cache.occupancy(), reference.sets.iter().map(Vec::len).sum());
+    }
+    Ok(())
 }
 
 proptest! {
@@ -51,9 +133,34 @@ proptest! {
         let mut reference = RefCache::new(4, 4);
         for &b in &blocks {
             let got = cache.access(BlockAddr::new(b), false).hit;
-            let want = reference.access(b);
+            let (want, _) = reference.access(b);
             prop_assert_eq!(got, want, "divergence at block {}", b);
         }
+    }
+
+    /// The array-backed set storage matches the MRU-first Vec oracle —
+    /// hit/miss, eviction order, fill refresh, and invalidation — at the
+    /// degenerate (direct-mapped), mid, and high associativities the
+    /// intrusive age ranks were introduced for.
+    #[test]
+    fn cache_matches_reference_model_at_assoc_1(
+        ops in proptest::collection::vec((0u64..256, 0u8..3), 1..400),
+    ) {
+        check_against_reference(1, &ops)?;
+    }
+
+    #[test]
+    fn cache_matches_reference_model_at_assoc_8(
+        ops in proptest::collection::vec((0u64..256, 0u8..3), 1..400),
+    ) {
+        check_against_reference(8, &ops)?;
+    }
+
+    #[test]
+    fn cache_matches_reference_model_at_assoc_16(
+        ops in proptest::collection::vec((0u64..256, 0u8..3), 1..400),
+    ) {
+        check_against_reference(16, &ops)?;
     }
 
     /// Directory invariant: after any operation sequence, a modified
