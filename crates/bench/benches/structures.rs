@@ -31,6 +31,44 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_hierarchy_probe(c: &mut Criterion) {
+    use stems_memsim::Hierarchy;
+
+    let sys = SystemConfig::small();
+    let mut g = c.benchmark_group("hierarchy");
+    g.throughput(Throughput::Elements(10_000));
+    // The single-pass pipeline vs the retained scalar two-call path over
+    // an identical L1-hit-heavy mix: the difference is the per-access
+    // overhead the probe rewrite removes.
+    g.bench_function("probe_10k", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(&sys);
+            let mut evicted = Vec::new();
+            for i in 0..10_000u64 {
+                let block = BlockAddr::new((i * 29) % 96);
+                evicted.clear();
+                black_box(h.probe(block, false, || false, &mut evicted));
+            }
+            black_box(h.l1_misses())
+        })
+    });
+    g.bench_function("scalar_10k", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(&sys);
+            let mut evicted = Vec::new();
+            for i in 0..10_000u64 {
+                let block = BlockAddr::new((i * 29) % 96);
+                evicted.clear();
+                if !h.access_l1_hit(block, false) {
+                    black_box(h.access_after_l1_miss(block, false, &mut evicted));
+                }
+            }
+            black_box(h.l1_misses())
+        })
+    });
+    g.finish();
+}
+
 fn bench_lru(c: &mut Criterion) {
     let mut g = c.benchmark_group("lru_table");
     g.throughput(Throughput::Elements(10_000));
@@ -108,7 +146,7 @@ fn bench_prefetcher_throughput(c: &mut Criterion) {
 criterion_group! {
     name = structures;
     config = Criterion::default().sample_size(20);
-    targets = bench_cache, bench_lru, bench_order_buffer, bench_sequitur,
-              bench_workload_generation, bench_prefetcher_throughput
+    targets = bench_cache, bench_hierarchy_probe, bench_lru, bench_order_buffer,
+              bench_sequitur, bench_workload_generation, bench_prefetcher_throughput
 }
 criterion_main!(structures);

@@ -223,11 +223,37 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
-/// Number of random cases each property runs.
+/// Number of random cases each property runs per seed pass.
 pub const CASES: u64 = 64;
 
+/// The extra exploratory seed each property suite runs on top of the
+/// fixed pass: `PROPTEST_SEED` from the environment when set (for
+/// reproducing a failure), otherwise derived from the wall clock so
+/// every run explores a fresh corner of the input space. The seed is
+/// printed by the failure message so a flake is always reproducible.
+pub fn exploration_seed() -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        match s.trim().parse::<u64>() {
+            Ok(seed) => return seed,
+            Err(e) => panic!("PROPTEST_SEED must be a u64: {e}"),
+        }
+    }
+    // SplitMix the nanosecond clock so two suites starting in the same
+    // instant still diverge.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    let mut z = nanos.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running [`CASES`] deterministically seeded cases.
+/// becomes a `#[test]` running [`CASES`] deterministically seeded cases
+/// (the fixed pass, stable across runs), then [`CASES`] more from one
+/// exploratory seed ([`exploration_seed`]): random per run, printed on
+/// failure, and pinnable via `PROPTEST_SEED=<n>` for reproduction.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
@@ -242,6 +268,21 @@ macro_rules! proptest {
                     let run = || -> Result<(), String> { $body Ok(()) };
                     if let Err(msg) = run() {
                         panic!("property {} failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+                let seed = $crate::exploration_seed();
+                for case in 0..$crate::CASES {
+                    let mut __rng = $crate::TestRng::new(
+                        seed ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let run = || -> Result<(), String> { $body Ok(()) };
+                    if let Err(msg) = run() {
+                        panic!(
+                            "property {} failed at exploratory case {case} \
+                             (reproduce with PROPTEST_SEED={seed}): {msg}",
+                            stringify!($name)
+                        );
                     }
                 }
             }

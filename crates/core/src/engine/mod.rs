@@ -118,6 +118,19 @@ pub trait Prefetcher {
     /// Observes a demand access; may issue prefetches.
     fn on_access(&mut self, ev: &AccessEvent, sink: &mut dyn PrefetchSink);
 
+    /// Whether this prefetcher needs to observe accesses satisfied in the
+    /// L1. When `false`, the engine's L1-hit fast path skips event
+    /// construction and the [`Prefetcher::on_access`] call entirely —
+    /// legal only for predictors whose `on_access` is a provable no-op
+    /// for [`Satisfied::L1`] events (TMS, STeMS, and the null predictor
+    /// train exclusively on L1-miss traffic). SMS-style predictors that
+    /// accumulate spatial generations over *all* L1 accesses must keep
+    /// the default `true`. Must be cheap and state-independent: the
+    /// engine consults it on every access.
+    fn observes_l1_hits(&self) -> bool {
+        true
+    }
+
     /// A block left the L1 (ends spatial generations covering it).
     fn on_l1_evict(&mut self, _block: BlockAddr, _kind: EvictKind) {}
 
@@ -137,6 +150,13 @@ impl Prefetcher for NullPrefetcher {
     }
 
     fn on_access(&mut self, _ev: &AccessEvent, _sink: &mut dyn PrefetchSink) {}
+
+    /// The un-prefetched baseline does nothing on any access; letting the
+    /// engine skip L1 hits entirely makes this run measure the raw
+    /// hierarchy cost (the `none` throughput ceiling in BENCH_harness).
+    fn observes_l1_hits(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

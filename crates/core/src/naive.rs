@@ -73,6 +73,13 @@ impl Prefetcher for NaiveHybrid {
         self.tms.on_svb_evict(block, tag);
         self.sms.on_svb_evict(block, tag);
     }
+
+    /// Composed: the hybrid needs L1-hit events iff either component
+    /// does (SMS does, so this is `true` — but the composition keeps it
+    /// correct if a component's answer ever changes).
+    fn observes_l1_hits(&self) -> bool {
+        self.tms.observes_l1_hits() || self.sms.observes_l1_hits()
+    }
 }
 
 #[cfg(test)]

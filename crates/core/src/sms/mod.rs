@@ -127,6 +127,15 @@ impl Prefetcher for SmsPrefetcher {
         "SMS"
     }
 
+    /// SMS observes **all** L1 accesses (Section 2.4): the AGT
+    /// accumulates every block a generation touches, hits included, so
+    /// the engine's L1-hit fast path must not skip delivery (the
+    /// default; stated explicitly because SMS is the reason the skip is
+    /// opt-in).
+    fn observes_l1_hits(&self) -> bool {
+        true
+    }
+
     fn on_access(&mut self, ev: &AccessEvent, sink: &mut dyn PrefetchSink) {
         let region = ev.block.region();
         let offset = ev.block.offset_in_region();

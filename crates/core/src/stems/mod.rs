@@ -22,7 +22,9 @@ pub use rmob::{Rmob, RmobEntry};
 
 use std::collections::VecDeque;
 
-use stems_types::{BlockAddr, BlockOffset, Delta, Pc, RegionAddr, SpatialPattern, SpatialSequence};
+use stems_types::{
+    BlockAddr, BlockOffset, Delta, Pc, RegionAddr, SequenceArena, SpatialPattern, SpatialSequence,
+};
 
 use crate::engine::{AccessEvent, EvictKind, PrefetchSink, Prefetcher, Satisfied, StreamTag};
 use crate::sms::spatial_index;
@@ -131,6 +133,9 @@ pub struct StemsPrefetcher {
     /// Arena recycling per-stream allocations (reconstruction windows,
     /// PST-expansion scratch, spatial-only deques) across stream starts.
     recon_pool: ReconPool,
+    /// Arena recycling `SpatialSequence` entry buffers across AGT
+    /// generation churn and PST training/eviction.
+    seq_arena: SequenceArena,
     /// Global off-chip-class read misses seen (the miss-order clock).
     miss_count: u64,
     /// Miss position of the previous RMOB append.
@@ -155,6 +160,7 @@ impl StemsPrefetcher {
             queues: StreamQueues::new(cfg),
             recon_predicted: LruTable::new(4096),
             recon_pool: ReconPool::new(),
+            seq_arena: SequenceArena::new(),
             miss_count: 0,
             last_rmob_pos: None,
             recon_stats: ReconStats::default(),
@@ -211,11 +217,17 @@ impl StemsPrefetcher {
         *last_rmob_pos = Some(pos);
     }
 
-    fn train_generation(pst: &mut Pst, generation: ActiveGeneration) {
-        pst.train(
+    fn train_generation(pst: &mut Pst, arena: &mut SequenceArena, generation: ActiveGeneration) {
+        pst.train_owned(
             spatial_index(generation.trigger_pc, generation.trigger_offset),
-            &generation.seq,
+            generation.seq,
+            arena,
         );
+    }
+
+    /// The arena recycling `SpatialSequence` buffers (churn diagnostics).
+    pub fn sequence_arena(&self) -> &SequenceArena {
+        &self.seq_arena
     }
 }
 
@@ -235,6 +247,7 @@ impl Prefetcher for StemsPrefetcher {
             queues,
             recon_predicted,
             recon_pool,
+            seq_arena,
             miss_count,
             last_rmob_pos,
             recon_stats,
@@ -297,12 +310,14 @@ impl Prefetcher for StemsPrefetcher {
                 let generation = ActiveGeneration {
                     trigger_pc: ev.pc,
                     trigger_offset: offset,
-                    seq: SpatialSequence::new(),
+                    // Recycled buffer: generation churn allocates nothing
+                    // in steady state.
+                    seq: seq_arena.take(),
                     last_miss_pos: pos,
                     predicted_at_trigger,
                 };
                 if let Some((_, victim)) = agt.insert(region, generation) {
-                    Self::train_generation(pst, victim);
+                    Self::train_generation(pst, seq_arena, victim);
                 }
                 Self::rmob_append(rmob, last_rmob_pos, block, ev.pc, pos);
                 // Spatial-only stream (Section 4.2): if reconstruction did
@@ -358,13 +373,21 @@ impl Prefetcher for StemsPrefetcher {
             .is_some_and(|g| g.trigger_offset == offset || g.seq.contains(offset));
         if ends {
             if let Some(generation) = self.agt.remove(&region) {
-                Self::train_generation(&mut self.pst, generation);
+                Self::train_generation(&mut self.pst, &mut self.seq_arena, generation);
             }
         }
     }
 
     fn on_svb_evict(&mut self, _block: BlockAddr, tag: StreamTag) {
         self.queues.on_svb_evicted(tag);
+    }
+
+    /// STeMS clocks its miss order and trains its generations on
+    /// off-chip-class events only; `on_access` is a no-op for
+    /// `Satisfied::L1` reads (and all writes), so the engine's L1-hit
+    /// fast path may skip delivery entirely.
+    fn observes_l1_hits(&self) -> bool {
+        false
     }
 }
 
@@ -466,6 +489,35 @@ mod tests {
         let total = c.covered + c.uncovered;
         assert!(c.coverage_vs(total) > 0.4, "{c:?}");
         assert_eq!(p.spatial_only_streams(), 0, "no spatial history exists");
+    }
+
+    /// Sustained generation/stream churn must not leak sequence buffers:
+    /// every buffer the arena hands out is either live in the AGT, live
+    /// in the PST, or back in the arena's bounded spare list.
+    #[test]
+    fn sequence_arena_stays_bounded_under_stream_churn() {
+        let cfg = PrefetchConfig::small();
+        let mut sim = CoverageSim::new(&SystemConfig::small(), &cfg, StemsPrefetcher::new(&cfg));
+        // Far more regions than the 4-entry AGT and 64-entry PST hold,
+        // revisited so streams start, get victimized, and restart.
+        let t = scan_loop(256, 8, &[0, 5, 9, 17]);
+        sim.run(&t);
+        let p = sim.prefetcher();
+        let arena = p.sequence_arena();
+        assert!(
+            arena.taken() > 1000,
+            "churn too low to be meaningful: {arena:?}"
+        );
+        let resident = (cfg.agt_entries + cfg.pst_entries) as u64;
+        assert!(
+            arena.outstanding() <= resident,
+            "live sequences exceed AGT+PST residency: {} > {resident} ({arena:?})",
+            arena.outstanding(),
+        );
+        assert!(
+            arena.pooled() <= 2 * (cfg.agt_entries + cfg.pst_entries),
+            "spare list unbounded: {arena:?}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! saturating counter. 16K entries x 40B puts it in main memory in
 //! hardware; functionally it is a bounded LRU map.
 
-use stems_types::SpatialSequence;
+use stems_types::{SequenceArena, SpatialSequence};
 
 use crate::util::LruTable;
 
@@ -48,6 +48,36 @@ impl Pst {
             Some(stored) => stored.retrain(observed),
             None => {
                 self.table.insert(index, observed.clone());
+            }
+        }
+    }
+
+    /// [`Pst::train`] taking ownership of the observed sequence and
+    /// recycling every buffer through `arena`: the observed buffer
+    /// returns to the arena after a retrain (or moves into the table on
+    /// first insert, uncloned), the retrain merge runs in arena scratch,
+    /// and an LRU-evicted victim's buffer is reclaimed too. Table state
+    /// after the call is identical to [`Pst::train`].
+    pub fn train_owned(
+        &mut self,
+        index: u64,
+        observed: SpatialSequence,
+        arena: &mut SequenceArena,
+    ) {
+        if observed.is_empty() {
+            arena.put(observed);
+            return;
+        }
+        self.trainings += 1;
+        match self.table.get(&index) {
+            Some(stored) => {
+                stored.retrain_in(&observed, arena);
+                arena.put(observed);
+            }
+            None => {
+                if let Some((_, victim)) = self.table.insert(index, observed) {
+                    arena.put(victim);
+                }
             }
         }
     }

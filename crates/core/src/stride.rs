@@ -56,6 +56,14 @@ impl Prefetcher for StridePrefetcher {
         "stride"
     }
 
+    /// Strides are learned from *every* read a PC issues — consecutive
+    /// elements usually hit the L1 — so the engine must deliver L1-hit
+    /// events (the default; stated explicitly because returning `false`
+    /// here would silently stop stride confirmation).
+    fn observes_l1_hits(&self) -> bool {
+        true
+    }
+
     fn on_access(&mut self, ev: &AccessEvent, sink: &mut dyn PrefetchSink) {
         if ev.is_write {
             return;

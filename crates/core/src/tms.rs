@@ -118,6 +118,13 @@ impl Prefetcher for TmsPrefetcher {
     fn on_svb_evict(&mut self, _block: BlockAddr, tag: StreamTag) {
         self.queues.on_svb_evicted(tag);
     }
+
+    /// TMS records and predicts only off-chip-class misses; `on_access`
+    /// is a no-op for `Satisfied::L1`, so the engine's L1-hit fast path
+    /// may skip delivery entirely.
+    fn observes_l1_hits(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,16 @@ pub struct CacheOutcome {
     pub evicted: Option<Evicted>,
 }
 
+/// Proof that a [`Cache::probe`] missed, carrying the probed set's way
+/// base so the follow-up install reuses the probe's tag/set computation
+/// instead of re-deriving it. Redeem with [`Cache::miss_fill_at`] or
+/// [`Cache::fill_at`], against the same cache and block that produced it
+/// (the token is deliberately not `Copy`/`Clone`: one probe, one install).
+#[derive(Debug)]
+pub struct MissedSet {
+    base: usize,
+}
+
 /// Recency rank marking an unoccupied way. Real ranks are `0..assoc`,
 /// so `new` asserts `assoc < u16::MAX`.
 const FREE_WAY: u16 = u16::MAX;
@@ -138,10 +148,10 @@ impl Cache {
         self.ages[base + w] = 0;
     }
 
-    /// Installs `block` in the first free way, or in the LRU way when the
-    /// set is full (reporting the victim). New lines enter at MRU.
-    fn install(&mut self, block: BlockAddr, is_dirty: bool) -> Option<Evicted> {
-        let base = self.set_base(block);
+    /// Installs `block` in the first free way of the set at `base`, or in
+    /// the LRU way when the set is full (reporting the victim). New lines
+    /// enter at MRU.
+    fn install_at(&mut self, base: usize, block: BlockAddr, is_dirty: bool) -> Option<Evicted> {
         let assoc = self.associativity;
         let ages = &self.ages[base..base + assoc];
         let lru_rank = (assoc - 1) as u16;
@@ -192,19 +202,30 @@ impl Cache {
         }
     }
 
-    /// The hit half of [`Cache::access`]: if `block` is resident, move it
-    /// to MRU (dirtying on write), count the hit, and return `true`. A
-    /// miss has no side effects — pair with [`Cache::miss_fill`] to
-    /// complete the access without re-scanning the set.
-    pub fn access_hit(&mut self, block: BlockAddr, is_write: bool) -> bool {
+    /// Single-pass demand probe: the hit half of [`Cache::access`] with a
+    /// reusable miss token. On hit the line moves to MRU (dirtying on
+    /// write), the hit is counted, and `None` is returned. On miss there
+    /// are no side effects; the returned [`MissedSet`] carries the set
+    /// location so [`Cache::miss_fill_at`] / [`Cache::fill_at`] complete
+    /// the access without recomputing the tag or re-scanning for the
+    /// block.
+    pub fn probe(&mut self, block: BlockAddr, is_write: bool) -> Option<MissedSet> {
         let base = self.set_base(block);
         if let Some(w) = self.find(base, block) {
             self.dirty[base + w] |= is_write;
             self.touch(base, w);
             self.hits += 1;
-            return true;
+            return None;
         }
-        false
+        Some(MissedSet { base })
+    }
+
+    /// The hit half of [`Cache::access`]: if `block` is resident, move it
+    /// to MRU (dirtying on write), count the hit, and return `true`. A
+    /// miss has no side effects — pair with [`Cache::miss_fill`] to
+    /// complete the access without re-scanning the set.
+    pub fn access_hit(&mut self, block: BlockAddr, is_write: bool) -> bool {
+        self.probe(block, is_write).is_none()
     }
 
     /// The miss half of [`Cache::access`]: allocates `block` at MRU,
@@ -216,8 +237,51 @@ impl Cache {
             self.find(self.set_base(block), block).is_none(),
             "miss_fill on a resident block"
         );
+        self.miss_fill_at(
+            MissedSet {
+                base: self.set_base(block),
+            },
+            block,
+            is_write,
+        )
+    }
+
+    /// Completes a probed demand miss: allocates `block` at MRU in the
+    /// probed set, counting the miss and evicting the LRU line if the set
+    /// is full.
+    pub fn miss_fill_at(
+        &mut self,
+        at: MissedSet,
+        block: BlockAddr,
+        is_write: bool,
+    ) -> Option<Evicted> {
+        debug_assert_eq!(
+            at.base,
+            self.set_base(block),
+            "MissedSet redeemed for a block in a different set"
+        );
+        debug_assert!(
+            self.find(at.base, block).is_none(),
+            "miss_fill_at on a resident block"
+        );
         self.misses += 1;
-        self.install(block, is_write)
+        self.install_at(at.base, block, is_write)
+    }
+
+    /// Completes a probed miss as a prefetch-consumption fill: allocates
+    /// `block` clean at MRU in the probed set without counting demand
+    /// traffic.
+    pub fn fill_at(&mut self, at: MissedSet, block: BlockAddr) -> Option<Evicted> {
+        debug_assert_eq!(
+            at.base,
+            self.set_base(block),
+            "MissedSet redeemed for a block in a different set"
+        );
+        debug_assert!(
+            self.find(at.base, block).is_none(),
+            "fill_at on a resident block"
+        );
+        self.install_at(at.base, block, false)
     }
 
     /// Inserts a block without counting a demand hit/miss (prefetch fill).
@@ -230,7 +294,7 @@ impl Cache {
             self.touch(base, w);
             return None;
         }
-        self.install(block, false)
+        self.install_at(base, block, false)
     }
 
     /// Whether `block` is present (no recency update).

@@ -33,6 +33,21 @@ pub struct HierarchyOutcome {
     pub l1_evicted: Vec<BlockAddr>,
 }
 
+/// Where a single-pass [`Hierarchy::probe`] resolved the access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProbeLevel {
+    /// L1 data cache hit.
+    L1,
+    /// L1 miss satisfied by the caller's interposed buffer (the streamed
+    /// value buffer in the engine): the block was filled into both levels
+    /// without counting demand traffic.
+    Svb,
+    /// L1 miss, L2 hit.
+    L2,
+    /// Off-chip: missed the L1, the interposed buffer, and the L2.
+    Memory,
+}
+
 /// One node's L1d + L2.
 #[derive(Clone, Debug)]
 pub struct Hierarchy {
@@ -51,15 +66,70 @@ impl Hierarchy {
 
     /// Performs a demand access; allocates into both levels on miss.
     pub fn access(&mut self, block: BlockAddr, is_write: bool) -> HierarchyOutcome {
-        if self.access_l1_hit(block, is_write) {
-            return HierarchyOutcome {
-                level: Level::L1,
-                l1_evicted: Vec::new(),
-            };
-        }
         let mut l1_evicted = Vec::new();
-        let level = self.access_after_l1_miss(block, is_write, &mut l1_evicted);
+        let level = match self.probe(block, is_write, || false, &mut l1_evicted) {
+            ProbeLevel::L1 => Level::L1,
+            ProbeLevel::L2 => Level::L2,
+            ProbeLevel::Memory => Level::Memory,
+            ProbeLevel::Svb => unreachable!("no interposed buffer was offered"),
+        };
         HierarchyOutcome { level, l1_evicted }
+    }
+
+    /// Single-pass demand probe: resolves L1-hit / interposed-buffer hit /
+    /// L1-miss+L2-hit / full-miss in one call, with **one** L1 tag/set
+    /// computation and caller-owned eviction scratch.
+    ///
+    /// `svb_take` is invoked exactly once, only after the L1 probe
+    /// missed; returning `true` means the caller's interposed buffer (the
+    /// streamed value buffer in the engine) held the block and consumed
+    /// it, so the hierarchy installs it into both levels as a prefetch
+    /// fill (no demand counters) instead of performing the L2 demand
+    /// access. Evicted L1 blocks (demand or inclusion victims) are
+    /// appended to `l1_evicted`.
+    ///
+    /// Behavior is pinned byte-identical to the retained scalar pair
+    /// [`Hierarchy::access_l1_hit`] + [`Hierarchy::access_after_l1_miss`]
+    /// (or + [`Hierarchy::fill_into`] when `svb_take` fires) by the
+    /// differential-oracle property tests in `tests/probe_differential.rs`.
+    pub fn probe(
+        &mut self,
+        block: BlockAddr,
+        is_write: bool,
+        svb_take: impl FnOnce() -> bool,
+        l1_evicted: &mut Vec<BlockAddr>,
+    ) -> ProbeLevel {
+        let Some(missed) = self.l1.probe(block, is_write) else {
+            return ProbeLevel::L1;
+        };
+        if svb_take() {
+            // Prefetch consumption: the block moves from the caller's
+            // buffer into both levels without counting demand traffic.
+            if let Some(e) = self.l1.fill_at(missed, block) {
+                l1_evicted.push(e.block);
+            }
+            if let Some(e) = self.l2.fill(block) {
+                if self.l1.invalidate(e.block) {
+                    l1_evicted.push(e.block);
+                }
+            }
+            return ProbeLevel::Svb;
+        }
+        if let Some(e) = self.l1.miss_fill_at(missed, block, is_write) {
+            l1_evicted.push(e.block);
+        }
+        let l2 = self.l2.access(block, is_write);
+        if let Some(e) = l2.evicted {
+            // Inclusive hierarchy: an L2 victim may not stay in L1.
+            if self.l1.invalidate(e.block) {
+                l1_evicted.push(e.block);
+            }
+        }
+        if l2.hit {
+            ProbeLevel::L2
+        } else {
+            ProbeLevel::Memory
+        }
     }
 
     /// The L1-hit half of [`Hierarchy::access`]: one set scan, counting
@@ -243,6 +313,74 @@ mod tests {
         assert_eq!(h.l1_misses(), 0);
         assert_eq!(h.l2_misses(), 0);
         assert_eq!(h.access(b, false).level, Level::L1);
+    }
+
+    #[test]
+    fn probe_interposes_between_l1_and_l2() {
+        let mut h = small();
+        let b = BlockAddr::new(321);
+        let mut evicted = Vec::new();
+        // Cold probe with an SVB hit: installed as a fill — no demand
+        // counters — and resident in both levels afterwards.
+        let level = h.probe(b, false, || true, &mut evicted);
+        assert_eq!(level, ProbeLevel::Svb);
+        assert!(evicted.is_empty());
+        assert!(h.in_l1(b) && h.in_l2(b));
+        assert_eq!(h.l1_misses(), 0);
+        assert_eq!(h.l2_misses(), 0);
+        // Resident now: the interposer must not even be consulted.
+        let level = h.probe(b, false, || panic!("L1 hit asks no one"), &mut evicted);
+        assert_eq!(level, ProbeLevel::L1);
+    }
+
+    #[test]
+    fn probe_consults_interposer_exactly_once_on_miss() {
+        let mut h = small();
+        let mut evicted = Vec::new();
+        let mut asked = 0u32;
+        let level = h.probe(
+            BlockAddr::new(7),
+            false,
+            || {
+                asked += 1;
+                false
+            },
+            &mut evicted,
+        );
+        assert_eq!(level, ProbeLevel::Memory);
+        assert_eq!(asked, 1);
+        assert_eq!(h.l1_misses(), 1);
+        assert_eq!(h.l2_misses(), 1);
+    }
+
+    #[test]
+    fn probe_matches_scalar_access_on_levels() {
+        let mut probe_h = small();
+        let mut scalar_h = small();
+        // A short conflict-heavy mix: every level outcome occurs.
+        let blocks = [77u64, 77, 109, 141, 77, 9, 77, 141];
+        for (i, &raw) in blocks.iter().enumerate() {
+            let b = BlockAddr::new(raw);
+            let is_write = i % 3 == 2;
+            let mut evicted = Vec::new();
+            let level = probe_h.probe(b, is_write, || false, &mut evicted);
+            // Scalar oracle: drive the retained two-call path explicitly
+            // (access() itself is a wrapper over probe now).
+            let mut scalar_evicted = Vec::new();
+            let want = if scalar_h.access_l1_hit(b, is_write) {
+                ProbeLevel::L1
+            } else {
+                match scalar_h.access_after_l1_miss(b, is_write, &mut scalar_evicted) {
+                    Level::L2 => ProbeLevel::L2,
+                    Level::Memory => ProbeLevel::Memory,
+                    Level::L1 => unreachable!(),
+                }
+            };
+            assert_eq!(level, want, "step {i}");
+            assert_eq!(evicted, scalar_evicted, "step {i}");
+        }
+        assert_eq!(probe_h.l1_misses(), scalar_h.l1_misses());
+        assert_eq!(probe_h.l2_misses(), scalar_h.l2_misses());
     }
 
     #[test]

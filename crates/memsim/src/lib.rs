@@ -32,8 +32,8 @@ pub mod directory;
 pub mod hierarchy;
 pub mod torus;
 
-pub use cache::{Cache, CacheOutcome, Evicted};
+pub use cache::{Cache, CacheOutcome, Evicted, MissedSet};
 pub use config::{CacheConfig, SystemConfig};
 pub use directory::{Directory, NodeId, ReadOutcome, WriteOutcome};
-pub use hierarchy::{Hierarchy, HierarchyOutcome, Level};
+pub use hierarchy::{Hierarchy, HierarchyOutcome, Level, ProbeLevel};
 pub use torus::Torus;

@@ -1,0 +1,208 @@
+//! Differential oracle for the single-pass probe pipeline.
+//!
+//! `Hierarchy::probe` collapses the per-access SVB/L1/L2 resolution into
+//! one call; the scalar pair `access_l1_hit` + `access_after_l1_miss`
+//! (plus `fill_into` for interposed prefetch consumption) is retained as
+//! the reference path. These properties drive both through identical
+//! random access/invalidation/fill sequences — including interposed
+//! (SVB-hit) accesses — and require the satisfying level, the eviction
+//! lists, every demand counter, and the final residency to match exactly
+//! at L1 associativities 1, 2, 8, and 16.
+
+use proptest::prelude::*;
+
+use stems_memsim::{CacheConfig, Hierarchy, Level, ProbeLevel, SystemConfig};
+use stems_types::BlockAddr;
+
+/// A small, conflict-prone geometry: 8 L1 sets, 32 L2 sets at the given
+/// associativities, so short random sequences exercise every path
+/// (free-way fill, LRU eviction, inclusion back-invalidation).
+fn config(l1_assoc: usize, l2_assoc: usize) -> SystemConfig {
+    SystemConfig {
+        l1: CacheConfig {
+            size_bytes: (8 * l1_assoc * 64) as u64,
+            associativity: l1_assoc,
+        },
+        l2: CacheConfig {
+            size_bytes: (32 * l2_assoc * 64) as u64,
+            associativity: l2_assoc,
+        },
+        ..SystemConfig::default()
+    }
+}
+
+/// One step of the scalar reference path, mirroring what the engine's
+/// pre-pipeline hot loop did call by call.
+fn scalar_step(
+    h: &mut Hierarchy,
+    block: BlockAddr,
+    is_write: bool,
+    svb_has_block: bool,
+    l1_evicted: &mut Vec<BlockAddr>,
+) -> ProbeLevel {
+    if h.access_l1_hit(block, is_write) {
+        return ProbeLevel::L1;
+    }
+    if svb_has_block {
+        h.fill_into(block, l1_evicted);
+        return ProbeLevel::Svb;
+    }
+    match h.access_after_l1_miss(block, is_write, l1_evicted) {
+        Level::L2 => ProbeLevel::L2,
+        Level::Memory => ProbeLevel::Memory,
+        Level::L1 => unreachable!("the L1 probe above missed"),
+    }
+}
+
+/// Drives the probe pipeline and the scalar oracle through an identical
+/// op sequence, asserting equality after every operation. Ops: 0 = read,
+/// 1 = write, 2 = read with the interposed buffer holding the block
+/// (SVB hit on L1 miss), 3 = coherence invalidation, 4 = prefetch fill.
+fn check_differential(l1_assoc: usize, l2_assoc: usize, ops: &[(u64, u8)]) -> Result<(), String> {
+    let cfg = config(l1_assoc, l2_assoc);
+    let mut pipeline = Hierarchy::new(&cfg);
+    let mut scalar = Hierarchy::new(&cfg);
+    let mut pipe_evicted = Vec::new();
+    let mut ref_evicted = Vec::new();
+    for (i, &(raw, op)) in ops.iter().enumerate() {
+        let block = BlockAddr::new(raw);
+        match op {
+            0..=2 => {
+                let is_write = op == 1;
+                let svb_has_block = op == 2;
+                pipe_evicted.clear();
+                ref_evicted.clear();
+                let got = pipeline.probe(block, is_write, || svb_has_block, &mut pipe_evicted);
+                let want = scalar_step(
+                    &mut scalar,
+                    block,
+                    is_write,
+                    svb_has_block,
+                    &mut ref_evicted,
+                );
+                prop_assert_eq!(
+                    got,
+                    want,
+                    "level diverged at op {} (block {}, assoc {}/{})",
+                    i,
+                    raw,
+                    l1_assoc,
+                    l2_assoc
+                );
+                prop_assert_eq!(
+                    &pipe_evicted,
+                    &ref_evicted,
+                    "eviction list diverged at op {} (block {})",
+                    i,
+                    raw
+                );
+            }
+            3 => {
+                prop_assert_eq!(
+                    pipeline.invalidate(block),
+                    scalar.invalidate(block),
+                    "invalidate diverged at op {} (block {})",
+                    i,
+                    raw
+                );
+            }
+            _ => {
+                pipe_evicted.clear();
+                ref_evicted.clear();
+                pipeline.fill_into(block, &mut pipe_evicted);
+                scalar.fill_into(block, &mut ref_evicted);
+                prop_assert_eq!(
+                    &pipe_evicted,
+                    &ref_evicted,
+                    "fill eviction diverged at op {} (block {})",
+                    i,
+                    raw
+                );
+            }
+        }
+        // All demand counters must track exactly, every step.
+        prop_assert_eq!(
+            pipeline.l1().hits(),
+            scalar.l1().hits(),
+            "L1 hits, op {}",
+            i
+        );
+        prop_assert_eq!(
+            pipeline.l1_misses(),
+            scalar.l1_misses(),
+            "L1 misses, op {}",
+            i
+        );
+        prop_assert_eq!(
+            pipeline.l2().hits(),
+            scalar.l2().hits(),
+            "L2 hits, op {}",
+            i
+        );
+        prop_assert_eq!(
+            pipeline.l2_misses(),
+            scalar.l2_misses(),
+            "L2 misses, op {}",
+            i
+        );
+        prop_assert_eq!(
+            pipeline.l1().occupancy(),
+            scalar.l1().occupancy(),
+            "L1 occupancy, op {}",
+            i
+        );
+        prop_assert_eq!(
+            pipeline.l2().occupancy(),
+            scalar.l2().occupancy(),
+            "L2 occupancy, op {}",
+            i
+        );
+        prop_assert_eq!(
+            pipeline.in_l1(block),
+            scalar.in_l1(block),
+            "L1 residency, op {}",
+            i
+        );
+        prop_assert_eq!(
+            pipeline.in_l2(block),
+            scalar.in_l2(block),
+            "L2 residency, op {}",
+            i
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn probe_matches_scalar_path_at_assoc_1(
+        l2_assoc in 1usize..=4,
+        ops in proptest::collection::vec((0u64..192, 0u8..5), 1..400),
+    ) {
+        check_differential(1, l2_assoc, &ops)?;
+    }
+
+    #[test]
+    fn probe_matches_scalar_path_at_assoc_2(
+        l2_assoc in 1usize..=8,
+        ops in proptest::collection::vec((0u64..192, 0u8..5), 1..400),
+    ) {
+        check_differential(2, l2_assoc, &ops)?;
+    }
+
+    #[test]
+    fn probe_matches_scalar_path_at_assoc_8(
+        l2_assoc in 1usize..=8,
+        ops in proptest::collection::vec((0u64..192, 0u8..5), 1..400),
+    ) {
+        check_differential(8, l2_assoc, &ops)?;
+    }
+
+    #[test]
+    fn probe_matches_scalar_path_at_assoc_16(
+        l2_assoc in 1usize..=16,
+        ops in proptest::collection::vec((0u64..384, 0u8..5), 1..400),
+    ) {
+        check_differential(16, l2_assoc, &ops)?;
+    }
+}

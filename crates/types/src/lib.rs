@@ -40,7 +40,7 @@ pub use hash::{
     fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
 };
 pub use pattern::SpatialPattern;
-pub use sequence::{Delta, SeqEntry, SpatialSequence};
+pub use sequence::{Delta, SeqEntry, SequenceArena, SpatialSequence};
 pub use smallvec::{FetchList, SmallVec};
 
 /// Bytes per cache block (64B, Table 1).

@@ -196,6 +196,24 @@ impl SpatialSequence {
     /// cannot overflow since offsets are unique.
     pub fn retrain(&mut self, observed: &SpatialSequence) {
         let mut merged: Vec<SeqEntry> = Vec::with_capacity(REGION_BLOCKS);
+        self.retrain_into(observed, &mut merged);
+    }
+
+    /// [`SpatialSequence::retrain`] through a [`SequenceArena`]: the
+    /// merge runs in the arena's scratch buffer and the displaced entry
+    /// buffer stays in the arena, so steady-state retraining allocates
+    /// nothing.
+    pub fn retrain_in(&mut self, observed: &SpatialSequence, arena: &mut SequenceArena) {
+        let mut merged = std::mem::take(&mut arena.scratch);
+        merged.clear();
+        self.retrain_into(observed, &mut merged);
+        arena.scratch = merged;
+    }
+
+    /// The retrain merge: builds the merged sequence in `merged` (cleared
+    /// capacity is reused), then swaps it in, leaving the previous entry
+    /// buffer in `merged`.
+    fn retrain_into(&mut self, observed: &SpatialSequence, merged: &mut Vec<SeqEntry>) {
         let mut present = SpatialPattern::empty();
         for obs in &observed.entries {
             let counter = match self.get(obs.offset) {
@@ -227,8 +245,86 @@ impl SpatialSequence {
                 }
             }
         }
-        self.entries = merged;
+        core::mem::swap(&mut self.entries, merged);
         self.present = present;
+    }
+}
+
+/// A recycling arena for [`SpatialSequence`] entry buffers.
+///
+/// STeMS opens a spatial generation on every trigger miss and retires one
+/// on every generation end or PST training — at millions of simulated
+/// accesses per second that is a constant stream of small `Vec`
+/// allocations. The arena keeps retired entry buffers (and the retrain
+/// merge scratch) and hands them back to new sequences, so AGT/PST/stream
+/// churn performs no steady-state allocation.
+///
+/// Buffers are plain values moved in and out (`take` transfers ownership,
+/// `put` reclaims it), so a pooled buffer can never be aliased by two
+/// live sequences; the accounting counters ([`SequenceArena::taken`],
+/// [`SequenceArena::returned`], [`SequenceArena::pooled`]) let tests
+/// assert the live + pooled population stays bounded under sustained
+/// churn.
+#[derive(Clone, Debug, Default)]
+pub struct SequenceArena {
+    free: Vec<Vec<SeqEntry>>,
+    /// Merge buffer for [`SpatialSequence::retrain_in`]; holds the
+    /// displaced entry buffer between retrains.
+    scratch: Vec<SeqEntry>,
+    taken: u64,
+    returned: u64,
+}
+
+/// Spare-list bound: the paper's AGT holds 64 generations and the PST
+/// retires at most one victim per insert, so twice the AGT covers every
+/// live-plus-retiring sequence without hoarding.
+const ARENA_SPARES: usize = 128;
+
+impl SequenceArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty sequence, reusing a pooled entry buffer when available.
+    pub fn take(&mut self) -> SpatialSequence {
+        self.taken += 1;
+        let mut entries = self.free.pop().unwrap_or_default();
+        entries.clear();
+        SpatialSequence {
+            entries,
+            present: SpatialPattern::empty(),
+        }
+    }
+
+    /// Returns a retired sequence's entry buffer to the arena. Buffers
+    /// that never allocated, and buffers beyond the spare-list bound, are
+    /// dropped rather than hoarded.
+    pub fn put(&mut self, seq: SpatialSequence) {
+        self.returned += 1;
+        if seq.entries.capacity() > 0 && self.free.len() < ARENA_SPARES {
+            self.free.push(seq.entries);
+        }
+    }
+
+    /// Sequences handed out so far.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Sequences returned so far.
+    pub fn returned(&self) -> u64 {
+        self.returned
+    }
+
+    /// Sequences taken but not yet returned (live churn population).
+    pub fn outstanding(&self) -> u64 {
+        self.taken.saturating_sub(self.returned)
+    }
+
+    /// Spare entry buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -352,5 +448,103 @@ mod tests {
         assert!(p.contains(BlockOffset::new(0)));
         assert!(p.contains(BlockOffset::new(9)));
         assert_eq!(p.count(), 2);
+    }
+
+    #[test]
+    fn retrain_in_matches_plain_retrain() {
+        let mut arena = SequenceArena::new();
+        let mut plain = seq(&[(1, 0), (2, 3), (3, 0)]);
+        let mut pooled = seq(&[(1, 0), (2, 3), (3, 0)]);
+        for observed in [
+            seq(&[(2, 1), (1, 0)]),
+            seq(&[(9, 0)]),
+            seq(&[(9, 2), (1, 1)]),
+            SpatialSequence::new(),
+        ] {
+            plain.retrain(&observed);
+            pooled.retrain_in(&observed, &mut arena);
+            assert_eq!(plain, pooled, "arena retrain diverged");
+        }
+    }
+
+    /// A tiny deterministic generator for the churn test below.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// Arena churn oracle: under random take / put / retrain
+    /// interleavings, (1) a buffer handed out is never simultaneously
+    /// owned by another live sequence (checked by entry-buffer address
+    /// against every live sequence), (2) the arena's accounting matches a
+    /// Vec model of the live population exactly, and (3) live + pooled
+    /// buffers stay bounded by the high-water mark of the live set —
+    /// nothing leaks and nothing is hoarded.
+    #[test]
+    fn arena_churn_never_aliases_and_stays_bounded() {
+        let mut rng = 0x5EED_AE11A;
+        let mut arena = SequenceArena::new();
+        let mut live: Vec<SpatialSequence> = Vec::new();
+        let mut high_water = 0usize;
+        for step in 0..20_000u32 {
+            match lcg(&mut rng) % 10 {
+                // Take a fresh sequence and fill it a little so its
+                // buffer allocates.
+                0..=3 => {
+                    let mut s = arena.take();
+                    assert!(s.is_empty(), "recycled sequence not reset");
+                    let n = lcg(&mut rng) % 6;
+                    for _ in 0..n {
+                        s.push(
+                            BlockOffset::new((lcg(&mut rng) % 32) as u8),
+                            Delta::from_gap(lcg(&mut rng) as usize % 8),
+                        );
+                    }
+                    if s.entries.capacity() > 0 {
+                        let ptr = s.entries.as_ptr();
+                        for other in live.iter().filter(|o| o.entries.capacity() > 0) {
+                            assert_ne!(
+                                ptr,
+                                other.entries.as_ptr(),
+                                "buffer aliased by two live sequences at step {step}"
+                            );
+                        }
+                    }
+                    live.push(s);
+                }
+                // Retire a live sequence.
+                4..=7 => {
+                    if !live.is_empty() {
+                        let i = lcg(&mut rng) as usize % live.len();
+                        arena.put(live.swap_remove(i));
+                    }
+                }
+                // Retrain a live sequence against another's contents.
+                _ => {
+                    if live.len() >= 2 {
+                        let i = lcg(&mut rng) as usize % live.len();
+                        let j = (i + 1 + lcg(&mut rng) as usize % (live.len() - 1)) % live.len();
+                        let observed = live[j].clone();
+                        live[i].retrain_in(&observed, &mut arena);
+                    }
+                }
+            }
+            high_water = high_water.max(live.len());
+            assert_eq!(
+                arena.outstanding() as usize,
+                live.len(),
+                "arena accounting diverged from the live-set model at step {step}"
+            );
+            assert!(
+                arena.pooled() <= high_water.max(1),
+                "arena pooled {} buffers but only {} were ever live at once",
+                arena.pooled(),
+                high_water
+            );
+            assert!(arena.pooled() <= ARENA_SPARES, "spare list unbounded");
+        }
+        assert!(arena.taken() > 0 && arena.returned() > 0);
     }
 }
