@@ -125,8 +125,8 @@ pub trait Prefetcher {
     /// for [`Satisfied::L1`] events (TMS, STeMS, and the null predictor
     /// train exclusively on L1-miss traffic). SMS-style predictors that
     /// accumulate spatial generations over *all* L1 accesses must keep
-    /// the default `true`. Must be cheap and state-independent: the
-    /// engine consults it on every access.
+    /// the default `true`. Must be state-independent: the engine
+    /// resolves it once at construction and never re-consults it.
     fn observes_l1_hits(&self) -> bool {
         true
     }

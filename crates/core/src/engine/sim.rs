@@ -147,6 +147,10 @@ pub struct CoverageSim<P> {
     l1_prefetched_unused: FxHashSet<BlockAddr>,
     counters: Counters,
     prefetcher: P,
+    /// [`Prefetcher::observes_l1_hits`] resolved once at construction
+    /// (the hint is documented state-independent), so neither the scalar
+    /// nor the batched path consults the prefetcher per access.
+    observes_l1_hits: bool,
     injector: Option<InvalidationInjector>,
     scratch: StepScratch,
 }
@@ -223,12 +227,14 @@ impl PrefetchSink for EngineSink<'_> {
 impl<P: Prefetcher> CoverageSim<P> {
     /// Creates a simulator with empty caches.
     pub fn new(system: &SystemConfig, prefetch: &crate::PrefetchConfig, prefetcher: P) -> Self {
+        let observes_l1_hits = prefetcher.observes_l1_hits();
         CoverageSim {
             hierarchy: Hierarchy::new(system),
             svb: Svb::new(prefetch.svb_entries),
             l1_prefetched_unused: stems_types::fx_set_with_capacity(prefetch.svb_entries.max(64)),
             counters: Counters::default(),
             prefetcher,
+            observes_l1_hits,
             injector: None,
             scratch: StepScratch::default(),
         }
@@ -258,17 +264,75 @@ impl<P: Prefetcher> CoverageSim<P> {
 
     /// Processes one access, returning where it was satisfied and which
     /// prefetches were issued.
+    ///
+    /// This is the scalar wrapper around the same per-access core the
+    /// batched [`CoverageSim::run_chunk`] path drives; prefer the chunked
+    /// entry points when the accesses are already materialized in a
+    /// slice.
     pub fn step(&mut self, access: &Access) -> StepOutcome {
         self.maybe_invalidate();
-        let block = access.addr.block();
-        let is_write = !access.is_read();
         self.counters.accesses += 1;
         if access.is_read() {
             self.counters.reads += 1;
         }
         if let Some(inj) = &mut self.injector {
-            inj.observe(block);
+            inj.observe(access.addr.block());
         }
+        self.step_core(access, self.observes_l1_hits)
+    }
+
+    /// Processes `chunk` in one call, hoisting the per-access overheads
+    /// the scalar wrapper pays on every step: the injector presence
+    /// branch, the `observes_l1_hits` consult, and the access/read
+    /// counter bookkeeping (accumulated locally, committed per chunk).
+    ///
+    /// Counters, prefetcher event order, and RNG streams are identical to
+    /// an access-by-access [`CoverageSim::step`] loop over the same
+    /// slice; only intermediate `accesses`/`reads` counter values differ
+    /// mid-chunk (both are committed by the time the call returns).
+    pub fn run_chunk(&mut self, chunk: &[Access]) {
+        self.run_chunk_with(chunk, |_, _| {});
+    }
+
+    /// [`CoverageSim::run_chunk`] with a per-access observer: `visit` is
+    /// called with each access and its [`StepOutcome`] in trace order.
+    /// This is how the timing model consumes a batched run.
+    pub fn run_chunk_with(
+        &mut self,
+        chunk: &[Access],
+        mut visit: impl FnMut(&Access, &StepOutcome),
+    ) {
+        let observes_l1_hits = self.observes_l1_hits;
+        self.counters.accesses += chunk.len() as u64;
+        let mut reads: u64 = 0;
+        if self.injector.is_some() {
+            for access in chunk {
+                reads += access.is_read() as u64;
+                self.maybe_invalidate();
+                if let Some(inj) = &mut self.injector {
+                    inj.observe(access.addr.block());
+                }
+                let out = self.step_core(access, observes_l1_hits);
+                visit(access, &out);
+            }
+        } else {
+            for access in chunk {
+                reads += access.is_read() as u64;
+                let out = self.step_core(access, observes_l1_hits);
+                visit(access, &out);
+            }
+        }
+        self.counters.reads += reads;
+    }
+
+    /// The per-access core shared by [`CoverageSim::step`] and the
+    /// chunked paths: cache/SVB resolution, counter classification, event
+    /// delivery, and eviction hooks. Counter bookkeeping for
+    /// `accesses`/`reads` and invalidation injection happen in the
+    /// callers.
+    fn step_core(&mut self, access: &Access, observes_l1_hits: bool) -> StepOutcome {
+        let block = access.addr.block();
+        let is_write = !access.is_read();
 
         self.scratch.l1_evicted.clear();
         let mut prefetched_hit = false;
@@ -339,7 +403,7 @@ impl<P: Prefetcher> CoverageSim<P> {
         // An L1 hit evicts nothing and — for predictors that train only
         // on miss traffic — needs no event delivery at all: the fast path
         // ends here.
-        if satisfied == Satisfied::L1 && !self.prefetcher.observes_l1_hits() {
+        if satisfied == Satisfied::L1 && !observes_l1_hits {
             return StepOutcome {
                 satisfied,
                 prefetched_hit,
@@ -418,11 +482,9 @@ impl<P: Prefetcher> CoverageSim<P> {
         self.counters
     }
 
-    /// Runs the whole trace and finalizes.
+    /// Runs the whole trace through the batched path and finalizes.
     pub fn run(&mut self, trace: &Trace) -> Counters {
-        for a in trace.iter() {
-            self.step(a);
-        }
+        self.run_chunk(trace.as_slice());
         self.finalize()
     }
 }
@@ -554,93 +616,67 @@ mod tests {
         t
     }
 
+    /// Runs every predictor over `trace` through the batched session
+    /// path, printing each row in golden-table form (regenerate an
+    /// expected table by running with `--nocapture` and copying the
+    /// printed values).
+    fn golden_rows(
+        sys: &SystemConfig,
+        cfg: &PrefetchConfig,
+        trace: &Trace,
+        inval: (f64, u64),
+    ) -> Vec<(&'static str, [u64; 10])> {
+        use crate::session::{Predictor, Session};
+        Predictor::all()
+            .into_iter()
+            .map(|p| {
+                let c = Session::builder(sys)
+                    .prefetch(cfg)
+                    .predictor(p)
+                    .invalidations(inval.0, inval.1)
+                    .run(trace);
+                let row = [
+                    c.accesses,
+                    c.reads,
+                    c.l1_hits,
+                    c.l2_hits,
+                    c.covered,
+                    c.uncovered,
+                    c.overpredictions,
+                    c.fetches,
+                    c.offchip_writes,
+                    c.invalidations,
+                ];
+                println!("(\"{}\", {row:?}),", p.name());
+                (p.name(), row)
+            })
+            .collect()
+    }
+
     /// Golden counters for every predictor over [`golden_trace`]: guards
-    /// the zero-allocation step path (and any engine refactor) against
+    /// the batched session path (and any engine refactor) against
     /// behavioral drift. Regenerate by running with `--nocapture` and
     /// copying the printed values.
     #[test]
     fn golden_counters_are_stable() {
-        use crate::{NaiveHybrid, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher};
-
-        let trace = golden_trace();
-        let sys = sys();
-        let cfg = cfg();
-        let golden: [(&str, Counters); 6] = [
-            ("none", {
-                CoverageSim::new(&sys, &cfg, NullPrefetcher)
-                    .with_invalidations(0.01, 42)
-                    .run(&trace)
-            }),
-            ("stride", {
-                CoverageSim::new(&sys, &cfg, StridePrefetcher::new(&cfg))
-                    .with_invalidations(0.01, 42)
-                    .run(&trace)
-            }),
-            ("tms", {
-                CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg))
-                    .with_invalidations(0.01, 42)
-                    .run(&trace)
-            }),
-            ("sms", {
-                CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg))
-                    .with_invalidations(0.01, 42)
-                    .run(&trace)
-            }),
-            ("stems", {
-                CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg))
-                    .with_invalidations(0.01, 42)
-                    .run(&trace)
-            }),
-            ("naive", {
-                CoverageSim::new(&sys, &cfg, NaiveHybrid::new(&cfg))
-                    .with_invalidations(0.01, 42)
-                    .run(&trace)
-            }),
-        ];
-        for (name, c) in &golden {
-            println!(
-                "(\"{name}\", [{}, {}, {}, {}, {}, {}, {}, {}, {}, {}]),",
-                c.accesses,
-                c.reads,
-                c.l1_hits,
-                c.l2_hits,
-                c.covered,
-                c.uncovered,
-                c.overpredictions,
-                c.fetches,
-                c.offchip_writes,
-                c.invalidations
-            );
-        }
         let expected: [(&str, [u64; 10]); 6] = [
             ("none", [4088, 3237, 183, 2562, 0, 1056, 0, 0, 287, 39]),
             (
                 "stride",
                 [4088, 3237, 183, 2562, 66, 990, 295, 377, 271, 39],
             ),
-            ("tms", [4088, 3237, 183, 2562, 86, 970, 653, 758, 268, 39]),
-            ("sms", [4088, 3237, 401, 2289, 193, 1095, 574, 813, 303, 39]),
-            ("stems", [4088, 3237, 183, 2562, 99, 957, 741, 865, 262, 39]),
+            ("TMS", [4088, 3237, 183, 2562, 86, 970, 653, 758, 268, 39]),
+            ("SMS", [4088, 3237, 401, 2289, 193, 1095, 574, 813, 303, 39]),
+            ("STeMS", [4088, 3237, 183, 2562, 99, 957, 741, 865, 262, 39]),
             (
-                "naive",
+                "TMS+SMS",
                 [4088, 3237, 183, 2562, 169, 887, 1363, 1577, 242, 39],
             ),
         ];
-        for ((name, c), (ename, e)) in golden.iter().zip(expected.iter()) {
+        let golden = golden_rows(&sys(), &cfg(), &golden_trace(), (0.01, 42));
+        for ((name, got), (ename, e)) in golden.iter().zip(expected.iter()) {
             assert_eq!(name, ename);
-            let got = [
-                c.accesses,
-                c.reads,
-                c.l1_hits,
-                c.l2_hits,
-                c.covered,
-                c.uncovered,
-                c.overpredictions,
-                c.fetches,
-                c.offchip_writes,
-                c.invalidations,
-            ];
-            assert_eq!(&got, e, "{name}: counters drifted from golden values");
+            assert_eq!(got, e, "{name}: counters drifted from golden values");
         }
     }
 
@@ -685,10 +721,8 @@ mod tests {
     /// Regenerate with `--nocapture` and copy the printed rows.
     #[test]
     fn golden_counters_under_pressure_are_stable() {
-        use crate::{NaiveHybrid, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher};
         use stems_memsim::CacheConfig;
 
-        let trace = pressure_trace();
         let sys = SystemConfig {
             l1: CacheConfig {
                 size_bytes: 1024,
@@ -702,79 +736,24 @@ mod tests {
         };
         let cfg = PrefetchConfig::small();
         assert!(cfg.spatial_only_streams, "pressure config needs them on");
-        let golden: [(&str, Counters); 6] = [
-            ("none", {
-                CoverageSim::new(&sys, &cfg, NullPrefetcher)
-                    .with_invalidations(0.02, 7)
-                    .run(&trace)
-            }),
-            ("stride", {
-                CoverageSim::new(&sys, &cfg, StridePrefetcher::new(&cfg))
-                    .with_invalidations(0.02, 7)
-                    .run(&trace)
-            }),
-            ("tms", {
-                CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg))
-                    .with_invalidations(0.02, 7)
-                    .run(&trace)
-            }),
-            ("sms", {
-                CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg))
-                    .with_invalidations(0.02, 7)
-                    .run(&trace)
-            }),
-            ("stems", {
-                CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg))
-                    .with_invalidations(0.02, 7)
-                    .run(&trace)
-            }),
-            ("naive", {
-                CoverageSim::new(&sys, &cfg, NaiveHybrid::new(&cfg))
-                    .with_invalidations(0.02, 7)
-                    .run(&trace)
-            }),
-        ];
-        for (name, c) in &golden {
-            println!(
-                "(\"{name}\", [{}, {}, {}, {}, {}, {}, {}, {}, {}, {}]),",
-                c.accesses,
-                c.reads,
-                c.l1_hits,
-                c.l2_hits,
-                c.covered,
-                c.uncovered,
-                c.overpredictions,
-                c.fetches,
-                c.offchip_writes,
-                c.invalidations
-            );
-        }
         let expected: [(&str, [u64; 10]); 6] = [
             ("none", [2484, 2321, 524, 296, 0, 1501, 0, 0, 163, 52]),
             (
                 "stride",
                 [2484, 2321, 524, 296, 253, 1248, 72, 333, 155, 52],
             ),
-            ("tms", [2484, 2321, 524, 296, 193, 1308, 73, 266, 163, 52]),
-            ("sms", [2484, 2321, 1667, 296, 1023, 478, 1, 1144, 43, 52]),
-            ("stems", [2484, 2321, 524, 296, 947, 554, 67, 1116, 61, 52]),
-            ("naive", [2484, 2321, 524, 296, 1089, 412, 68, 1277, 43, 52]),
+            ("TMS", [2484, 2321, 524, 296, 193, 1308, 73, 266, 163, 52]),
+            ("SMS", [2484, 2321, 1667, 296, 1023, 478, 1, 1144, 43, 52]),
+            ("STeMS", [2484, 2321, 524, 296, 947, 554, 67, 1116, 61, 52]),
+            (
+                "TMS+SMS",
+                [2484, 2321, 524, 296, 1089, 412, 68, 1277, 43, 52],
+            ),
         ];
-        for ((name, c), (ename, e)) in golden.iter().zip(expected.iter()) {
+        let golden = golden_rows(&sys, &cfg, &pressure_trace(), (0.02, 7));
+        for ((name, got), (ename, e)) in golden.iter().zip(expected.iter()) {
             assert_eq!(name, ename);
-            let got = [
-                c.accesses,
-                c.reads,
-                c.l1_hits,
-                c.l2_hits,
-                c.covered,
-                c.uncovered,
-                c.overpredictions,
-                c.fetches,
-                c.offchip_writes,
-                c.invalidations,
-            ];
-            assert_eq!(&got, e, "{name}: counters drifted from golden values");
+            assert_eq!(got, e, "{name}: counters drifted from golden values");
         }
     }
 

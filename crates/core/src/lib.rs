@@ -17,13 +17,14 @@
 //! All predictors plug into the trace-driven [`engine::CoverageSim`],
 //! which models one node's L1/L2 hierarchy plus the streamed value buffer
 //! and produces the covered / uncovered / overpredicted accounting of the
-//! paper's Figure 9.
+//! paper's Figure 9. The [`session`] module is the front door: a
+//! [`Predictor`] registry, the [`AnyPrefetcher`] factory, and the
+//! [`Session`] builder over the engine's batched delivery path.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use stems_core::engine::{CoverageSim, NullPrefetcher};
-//! use stems_core::{PrefetchConfig, StemsPrefetcher};
+//! use stems_core::{Predictor, PrefetchConfig, Session};
 //! use stems_memsim::SystemConfig;
 //! use stems_trace::Trace;
 //!
@@ -39,8 +40,11 @@
 //!
 //! let sys = SystemConfig::small();
 //! let cfg = PrefetchConfig::small();
-//! let baseline = CoverageSim::new(&sys, &cfg, NullPrefetcher).run(&trace);
-//! let stems = CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg)).run(&trace);
+//! let baseline = Session::builder(&sys).prefetch(&cfg).run(&trace);
+//! let stems = Session::builder(&sys)
+//!     .prefetch(&cfg)
+//!     .predictor(Predictor::Stems)
+//!     .run(&trace);
 //! assert!(stems.covered > 0);
 //! assert!(stems.uncovered < baseline.uncovered);
 //! ```
@@ -48,6 +52,7 @@
 pub mod config;
 pub mod engine;
 pub mod naive;
+pub mod session;
 pub mod sms;
 pub mod stems;
 pub mod streams;
@@ -58,6 +63,7 @@ pub mod util;
 pub use config::PrefetchConfig;
 pub use engine::{Counters, CoverageSim, NullPrefetcher, Prefetcher};
 pub use naive::NaiveHybrid;
+pub use session::{AnyPrefetcher, Predictor, Session, SessionBuilder};
 pub use sms::SmsPrefetcher;
 pub use stems::StemsPrefetcher;
 pub use stride::StridePrefetcher;

@@ -1,0 +1,488 @@
+//! The unified simulation session API.
+//!
+//! Every experiment in the harness drives the same trace-driven engine;
+//! this module is the single front door to it. [`Predictor`] names the
+//! six predictors the paper evaluates, [`AnyPrefetcher`] is the
+//! enum-dispatch type the factory builds (no `Box<dyn>` — the engine's
+//! hot loop stays monomorphic over one concrete type), and [`Session`]
+//! wraps the engine behind a builder so call sites configure a run once
+//! instead of re-spelling a six-way `match` over constructors.
+//!
+//! # Example
+//!
+//! ```
+//! use stems_core::session::{Predictor, Session};
+//! use stems_core::PrefetchConfig;
+//! use stems_memsim::SystemConfig;
+//! use stems_trace::Trace;
+//!
+//! let mut trace = Trace::new();
+//! for _ in 0..2 {
+//!     for r in 0..64u64 {
+//!         let base = (r * 7919 % 4096) * 2048 + (1 << 30);
+//!         trace.read(0x400, base);
+//!         trace.read(0x404, base + 5 * 64);
+//!     }
+//! }
+//! let sys = SystemConfig::small();
+//! let cfg = PrefetchConfig::small();
+//! let baseline = Session::builder(&sys).prefetch(&cfg).run(&trace);
+//! let stems = Session::builder(&sys)
+//!     .prefetch(&cfg)
+//!     .predictor(Predictor::Stems)
+//!     .run(&trace);
+//! assert!(stems.covered > 0);
+//! assert!(stems.uncovered < baseline.uncovered);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use stems_memsim::SystemConfig;
+use stems_trace::{Access, Trace};
+
+use crate::engine::{
+    AccessEvent, Counters, CoverageSim, EvictKind, NullPrefetcher, PrefetchSink, Prefetcher,
+    StepOutcome, StreamTag,
+};
+use crate::stems::ReconStats;
+use crate::{
+    NaiveHybrid, PrefetchConfig, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher,
+};
+use stems_types::BlockAddr;
+
+/// The predictors under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Predictor {
+    /// No prefetching (baseline miss counting).
+    None,
+    /// The baseline system's stride prefetcher.
+    Stride,
+    /// Temporal Memory Streaming.
+    Tms,
+    /// Spatial Memory Streaming.
+    Sms,
+    /// Spatio-Temporal Memory Streaming.
+    Stems,
+    /// TMS and SMS side by side (Section 5.5 strawman).
+    Naive,
+}
+
+impl Predictor {
+    /// Every predictor, in the canonical evaluation order.
+    pub const ALL: [Predictor; 6] = [
+        Predictor::None,
+        Predictor::Stride,
+        Predictor::Tms,
+        Predictor::Sms,
+        Predictor::Stems,
+        Predictor::Naive,
+    ];
+
+    /// The three streaming predictors compared in Figures 9 and 10.
+    pub const STREAMING: [Predictor; 3] = [Predictor::Tms, Predictor::Sms, Predictor::Stems];
+
+    /// Every predictor ([`Predictor::ALL`] as a method, for iteration).
+    pub fn all() -> [Predictor; 6] {
+        Predictor::ALL
+    }
+
+    /// Display name; matches the [`Prefetcher::name`] of the prefetcher
+    /// [`Predictor::build`] constructs, and round-trips through
+    /// [`FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Predictor::None => "none",
+            Predictor::Stride => "stride",
+            Predictor::Tms => "TMS",
+            Predictor::Sms => "SMS",
+            Predictor::Stems => "STeMS",
+            Predictor::Naive => "TMS+SMS",
+        }
+    }
+
+    /// Constructs this predictor's prefetcher for `cfg`.
+    pub fn build(self, cfg: &PrefetchConfig) -> AnyPrefetcher {
+        match self {
+            Predictor::None => AnyPrefetcher::None(NullPrefetcher),
+            Predictor::Stride => AnyPrefetcher::Stride(StridePrefetcher::new(cfg)),
+            Predictor::Tms => AnyPrefetcher::Tms(TmsPrefetcher::new(cfg)),
+            Predictor::Sms => AnyPrefetcher::Sms(SmsPrefetcher::new(cfg)),
+            Predictor::Stems => AnyPrefetcher::Stems(StemsPrefetcher::new(cfg)),
+            Predictor::Naive => AnyPrefetcher::Naive(NaiveHybrid::new(cfg)),
+        }
+    }
+}
+
+impl fmt::Display for Predictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned by [`Predictor::from_str`] for an unrecognized name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePredictorError(String);
+
+impl fmt::Display for ParsePredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown predictor {:?}; expected one of none, stride, TMS, SMS, STeMS, TMS+SMS",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePredictorError {}
+
+impl FromStr for Predictor {
+    type Err = ParsePredictorError;
+
+    /// Parses a display name, case-insensitively; `"naive"` and
+    /// `"hybrid"` are accepted as aliases for the TMS+SMS strawman.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "none" => Ok(Predictor::None),
+            "stride" => Ok(Predictor::Stride),
+            "tms" => Ok(Predictor::Tms),
+            "sms" => Ok(Predictor::Sms),
+            "stems" => Ok(Predictor::Stems),
+            "tms+sms" | "naive" | "hybrid" => Ok(Predictor::Naive),
+            _ => Err(ParsePredictorError(s.to_string())),
+        }
+    }
+}
+
+/// Enum dispatch over the six concrete prefetchers.
+///
+/// The engine stays generic over one monomorphic type (no `Box<dyn
+/// Prefetcher>` indirection on the per-access path), and the
+/// state-independent [`Prefetcher::observes_l1_hits`] hint is resolved
+/// once per run by [`CoverageSim::new`] rather than re-matched per
+/// access.
+// One AnyPrefetcher exists per session (never collections of them), so
+// the padding the smaller variants carry up to STeMS's footprint costs
+// nothing; boxing the large variants would put a pointer chase on every
+// on_access instead.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum AnyPrefetcher {
+    /// [`NullPrefetcher`].
+    None(NullPrefetcher),
+    /// [`StridePrefetcher`].
+    Stride(StridePrefetcher),
+    /// [`TmsPrefetcher`].
+    Tms(TmsPrefetcher),
+    /// [`SmsPrefetcher`].
+    Sms(SmsPrefetcher),
+    /// [`StemsPrefetcher`].
+    Stems(StemsPrefetcher),
+    /// [`NaiveHybrid`].
+    Naive(NaiveHybrid),
+}
+
+impl AnyPrefetcher {
+    /// Which [`Predictor`] this prefetcher is.
+    pub fn kind(&self) -> Predictor {
+        match self {
+            AnyPrefetcher::None(_) => Predictor::None,
+            AnyPrefetcher::Stride(_) => Predictor::Stride,
+            AnyPrefetcher::Tms(_) => Predictor::Tms,
+            AnyPrefetcher::Sms(_) => Predictor::Sms,
+            AnyPrefetcher::Stems(_) => Predictor::Stems,
+            AnyPrefetcher::Naive(_) => Predictor::Naive,
+        }
+    }
+
+    /// STeMS reconstruction-placement statistics, when this is the STeMS
+    /// predictor.
+    pub fn recon_stats(&self) -> Option<ReconStats> {
+        match self {
+            AnyPrefetcher::Stems(p) => Some(p.recon_stats()),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyPrefetcher::None($p) => $body,
+            AnyPrefetcher::Stride($p) => $body,
+            AnyPrefetcher::Tms($p) => $body,
+            AnyPrefetcher::Sms($p) => $body,
+            AnyPrefetcher::Stems($p) => $body,
+            AnyPrefetcher::Naive($p) => $body,
+        }
+    };
+}
+
+impl Prefetcher for AnyPrefetcher {
+    fn name(&self) -> &str {
+        dispatch!(self, p => p.name())
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, sink: &mut dyn PrefetchSink) {
+        dispatch!(self, p => p.on_access(ev, sink))
+    }
+
+    fn observes_l1_hits(&self) -> bool {
+        dispatch!(self, p => p.observes_l1_hits())
+    }
+
+    fn on_l1_evict(&mut self, block: BlockAddr, kind: EvictKind) {
+        dispatch!(self, p => p.on_l1_evict(block, kind))
+    }
+
+    fn on_svb_evict(&mut self, block: BlockAddr, tag: StreamTag) {
+        dispatch!(self, p => p.on_svb_evict(block, tag))
+    }
+}
+
+/// Configures a [`Session`]; created by [`Session::builder`].
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    system: SystemConfig,
+    prefetch: PrefetchConfig,
+    predictor: Predictor,
+    invalidations: Option<(f64, u64)>,
+}
+
+impl SessionBuilder {
+    /// Sets the prefetcher configuration (defaults to
+    /// [`PrefetchConfig::default`]).
+    pub fn prefetch(mut self, cfg: &PrefetchConfig) -> Self {
+        self.prefetch = cfg.clone();
+        self
+    }
+
+    /// Sets the predictor under test (defaults to [`Predictor::None`],
+    /// the un-prefetched baseline).
+    pub fn predictor(mut self, kind: Predictor) -> Self {
+        self.predictor = kind;
+        self
+    }
+
+    /// Enables coherence-invalidation injection at `rate` per access.
+    pub fn invalidations(mut self, rate: f64, seed: u64) -> Self {
+        self.invalidations = Some((rate, seed));
+        self
+    }
+
+    /// The system configuration this builder was created with.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The prefetcher configuration currently selected.
+    pub fn prefetch_config(&self) -> &PrefetchConfig {
+        &self.prefetch
+    }
+
+    /// Builds the session with empty caches.
+    pub fn build(self) -> Session {
+        let prefetcher = self.predictor.build(&self.prefetch);
+        let mut sim = CoverageSim::new(&self.system, &self.prefetch, prefetcher);
+        if let Some((rate, seed)) = self.invalidations {
+            sim = sim.with_invalidations(rate, seed);
+        }
+        Session { sim }
+    }
+
+    /// Convenience: builds the session, runs the whole trace through the
+    /// batched path, and returns the finalized counters.
+    pub fn run(self, trace: &Trace) -> Counters {
+        self.build().run(trace)
+    }
+}
+
+/// One configured simulation run: the cache hierarchy, SVB, and chosen
+/// predictor behind a single driving interface.
+///
+/// [`Session::run_chunk`] is the primary entry point — it amortizes the
+/// per-access overheads over a whole slice of accesses; [`Session::step`]
+/// remains as the scalar wrapper for callers that interleave their own
+/// work between accesses.
+#[derive(Debug)]
+pub struct Session {
+    sim: CoverageSim<AnyPrefetcher>,
+}
+
+impl Session {
+    /// Starts configuring a session for `system`.
+    pub fn builder(system: &SystemConfig) -> SessionBuilder {
+        SessionBuilder {
+            system: system.clone(),
+            prefetch: PrefetchConfig::default(),
+            predictor: Predictor::None,
+            invalidations: None,
+        }
+    }
+
+    /// Delivers a batch of accesses to the engine (the primary entry
+    /// point; see [`CoverageSim::run_chunk`]).
+    pub fn run_chunk(&mut self, chunk: &[Access]) {
+        self.sim.run_chunk(chunk);
+    }
+
+    /// [`Session::run_chunk`] with a per-access observer called with each
+    /// access and its [`StepOutcome`] in trace order.
+    pub fn run_chunk_with(&mut self, chunk: &[Access], visit: impl FnMut(&Access, &StepOutcome)) {
+        self.sim.run_chunk_with(chunk, visit);
+    }
+
+    /// Processes one access (thin scalar wrapper over the batched core).
+    pub fn step(&mut self, access: &Access) -> StepOutcome {
+        self.sim.step(access)
+    }
+
+    /// Runs the whole trace through the batched path and finalizes.
+    pub fn run(&mut self, trace: &Trace) -> Counters {
+        self.sim.run(trace)
+    }
+
+    /// Counters accumulated so far (call [`Session::finalize`] first for
+    /// end-of-run overprediction accounting).
+    pub fn counters(&self) -> &Counters {
+        self.sim.counters()
+    }
+
+    /// Counts still-unconsumed prefetched blocks as overpredictions and
+    /// returns the final counters. Call once at end of run.
+    pub fn finalize(&mut self) -> Counters {
+        self.sim.finalize()
+    }
+
+    /// Which predictor this session runs.
+    pub fn predictor(&self) -> Predictor {
+        self.sim.prefetcher().kind()
+    }
+
+    /// The prefetcher under test.
+    pub fn prefetcher(&self) -> &AnyPrefetcher {
+        self.sim.prefetcher()
+    }
+
+    /// STeMS reconstruction-placement statistics, when this session runs
+    /// the STeMS predictor.
+    pub fn recon_stats(&self) -> Option<ReconStats> {
+        self.sim.prefetcher().recon_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for p in Predictor::all() {
+            assert_eq!(p.name().parse::<Predictor>().unwrap(), p, "{p}");
+            assert_eq!(p.to_string(), p.name());
+            // Case-insensitive.
+            assert_eq!(
+                p.name().to_ascii_uppercase().parse::<Predictor>().unwrap(),
+                p
+            );
+            assert_eq!(
+                p.name().to_ascii_lowercase().parse::<Predictor>().unwrap(),
+                p
+            );
+        }
+        assert_eq!("naive".parse::<Predictor>().unwrap(), Predictor::Naive);
+        assert!("bogus".parse::<Predictor>().is_err());
+        let err = "bogus".parse::<Predictor>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn factory_covers_every_predictor_with_matching_names() {
+        let cfg = PrefetchConfig::small();
+        for p in Predictor::all() {
+            let built = p.build(&cfg);
+            assert_eq!(built.kind(), p, "factory must build its own kind");
+            assert_eq!(
+                built.name(),
+                p.name(),
+                "Prefetcher::name must match Predictor::name"
+            );
+            assert_eq!(
+                built.recon_stats().is_some(),
+                p == Predictor::Stems,
+                "only STeMS exposes reconstruction stats"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_defaults_to_unprefetched_baseline() {
+        let sys = SystemConfig::small();
+        let s = Session::builder(&sys).build();
+        assert_eq!(s.predictor(), Predictor::None);
+        assert_eq!(*s.counters(), Counters::default());
+    }
+
+    #[test]
+    fn session_matches_direct_engine_construction() {
+        let mut trace = Trace::new();
+        for i in 0..500u64 {
+            trace.read(0x400 + (i % 5), ((i * 7919) % 256) * 2048);
+        }
+        let sys = SystemConfig::small();
+        let cfg = PrefetchConfig::small();
+        for p in Predictor::all() {
+            let direct = {
+                let mut sim =
+                    CoverageSim::new(&sys, &cfg, p.build(&cfg)).with_invalidations(0.01, 99);
+                sim.run(&trace)
+            };
+            let via_session = Session::builder(&sys)
+                .prefetch(&cfg)
+                .predictor(p)
+                .invalidations(0.01, 99)
+                .run(&trace);
+            assert_eq!(direct, via_session, "{p}");
+        }
+    }
+
+    #[test]
+    fn scalar_step_equals_batched_run_chunk() {
+        let mut trace = Trace::new();
+        for i in 0..800u64 {
+            let addr = ((i * 2654435761) % 512) * 2048 + (i % 7) * 64;
+            if i % 5 == 0 {
+                trace.write(0x600, addr);
+            } else {
+                trace.read(0x600 + (i % 3), addr);
+            }
+        }
+        let sys = SystemConfig::small();
+        let cfg = PrefetchConfig::small();
+        for p in Predictor::all() {
+            let build = || {
+                Session::builder(&sys)
+                    .prefetch(&cfg)
+                    .predictor(p)
+                    .invalidations(0.02, 5)
+                    .build()
+            };
+            let scalar = {
+                let mut s = build();
+                let outs: Vec<StepOutcome> = trace.iter().map(|a| s.step(a)).collect();
+                (s.finalize(), outs)
+            };
+            for chunk_size in [1, 7, 64, trace.len()] {
+                let mut s = build();
+                let mut outs = Vec::new();
+                for chunk in trace.as_slice().chunks(chunk_size) {
+                    s.run_chunk_with(chunk, |_, out| outs.push(out.clone()));
+                }
+                let counters = s.finalize();
+                assert_eq!(counters, scalar.0, "{p} chunk {chunk_size}: counters");
+                assert_eq!(outs, scalar.1, "{p} chunk {chunk_size}: outcomes");
+            }
+        }
+    }
+}

@@ -10,13 +10,13 @@
 //! * **reconstruction window and ±search** — placement success vs drops;
 //! * **spatial-only streams** — the only source of compulsory coverage.
 
-use stems_core::engine::{Counters, CoverageSim, NullPrefetcher};
-use stems_core::{PrefetchConfig, StemsPrefetcher};
+use stems_core::engine::Counters;
+use stems_core::{PrefetchConfig, Session};
 use stems_trace::Trace;
 use stems_workloads::Workload;
 
 use crate::render::{pct, Table};
-use crate::runner::{parallel_map, prefetch_config, system_config, Settings};
+use crate::runner::{parallel_map, prefetch_config, system_config, Predictor, Settings};
 
 fn run_stems(
     workload: Workload,
@@ -24,17 +24,20 @@ fn run_stems(
     trace: &Trace,
     settings: Settings,
 ) -> (Counters, stems_core::stems::ReconStats) {
-    let sys = system_config(settings.scale);
-    let mut sim = CoverageSim::new(&sys, cfg, StemsPrefetcher::new(cfg))
-        .with_invalidations(workload.invalidation_rate(), 7);
-    let counters = sim.run(trace);
-    (counters, sim.prefetcher().recon_stats())
+    let mut session = Session::builder(&system_config(settings.scale))
+        .prefetch(cfg)
+        .predictor(Predictor::Stems)
+        .invalidations(workload.invalidation_rate(), 7)
+        .build();
+    let counters = session.run(trace);
+    let stats = session.recon_stats().expect("a STeMS session has stats");
+    (counters, stats)
 }
 
 fn baseline(workload: Workload, trace: &Trace, settings: Settings) -> u64 {
-    let sys = system_config(settings.scale);
-    CoverageSim::new(&sys, &prefetch_config(workload), NullPrefetcher)
-        .with_invalidations(workload.invalidation_rate(), 7)
+    Session::builder(&system_config(settings.scale))
+        .prefetch(&prefetch_config(workload))
+        .invalidations(workload.invalidation_rate(), 7)
         .run(trace)
         .uncovered
 }

@@ -1,9 +1,13 @@
 //! Self-timing throughput harness behind `--bin bench_harness`.
 //!
-//! Measures the two things future PRs need a trajectory for:
+//! Measures the things future PRs need a trajectory for:
 //!
-//! * **per-access step throughput** — how fast `CoverageSim::step` drives
-//!   each predictor through a trace (accesses/second, single thread);
+//! * **per-access step throughput** — how fast the scalar
+//!   `Session::step` wrapper drives each predictor through a trace
+//!   (accesses/second, single thread);
+//! * **batched throughput** — the same trace delivered through
+//!   `Session::run_chunk`, the primary entry point, so every report
+//!   carries a same-boot batch-vs-scalar A/B;
 //! * **per-figure wall-clock** — end-to-end time of every reproduced
 //!   table/figure, serial and parallel.
 //!
@@ -18,7 +22,7 @@ use stems_trace::Trace;
 use stems_workloads::Workload;
 
 use crate::figs;
-use crate::runner::{run_coverage, system_config, Predictor, Settings};
+use crate::runner::{run_coverage, session_builder, system_config, Predictor, Settings};
 
 /// One measured quantity in the report.
 #[derive(Clone, Debug)]
@@ -55,9 +59,35 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-/// Times `predictor` over `trace`, returning accesses per second
+/// Times `predictor` over `trace` access-by-access through the scalar
+/// [`stems_core::Session::step`] wrapper, returning accesses per second
 /// (single-threaded, best of `reps` runs to shed first-touch noise).
 pub fn step_throughput(
+    workload: Workload,
+    predictor: Predictor,
+    trace: &Trace,
+    settings: Settings,
+    reps: usize,
+) -> f64 {
+    let sys = system_config(settings.scale);
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let (_, secs) = time(|| {
+            let mut session = session_builder(workload, predictor, &sys).build();
+            for access in trace.iter() {
+                session.step(access);
+            }
+            session.finalize()
+        });
+        best = best.min(secs);
+    }
+    trace.len() as f64 / best
+}
+
+/// Times `predictor` over `trace` through the batched
+/// [`stems_core::Session::run_chunk`] path (whole trace in one chunk) —
+/// the scalar row's same-boot A/B partner.
+pub fn batch_throughput(
     workload: Workload,
     predictor: Predictor,
     trace: &Trace,
@@ -91,17 +121,16 @@ pub fn run(settings: Settings) -> Vec<Measurement> {
             value: trace.len() as f64,
             unit: "accesses",
         });
-        for p in [
-            Predictor::None,
-            Predictor::Stride,
-            Predictor::Tms,
-            Predictor::Sms,
-            Predictor::Stems,
-            Predictor::Naive,
-        ] {
+        for p in Predictor::all() {
             let rate = step_throughput(w, p, &trace, settings, reps);
             out.push(Measurement {
                 name: format!("step_throughput/{}/{}", w.name(), p.name()),
+                value: rate,
+                unit: "accesses_per_sec",
+            });
+            let rate = batch_throughput(w, p, &trace, settings, reps);
+            out.push(Measurement {
+                name: format!("batch_throughput/{}/{}", w.name(), p.name()),
                 value: rate,
                 unit: "accesses_per_sec",
             });
@@ -188,7 +217,7 @@ pub fn parse_report(json: &str) -> Vec<(String, f64)> {
 /// run (see [`check_regressions`]).
 #[derive(Clone, Debug)]
 pub struct RegressionLine {
-    /// Metric name (`step_throughput/...`).
+    /// Metric name (`step_throughput/...` or `batch_throughput/...`).
     pub name: String,
     /// Baseline accesses/second.
     pub baseline: f64,
@@ -200,11 +229,11 @@ pub struct RegressionLine {
     pub failed: bool,
 }
 
-/// Compares every `step_throughput/` metric present in both reports.
-/// A metric fails when the current run is more than `max_slowdown`×
-/// slower than baseline — the tolerance is deliberately generous (CI VMs
-/// are ±30% noisy run-to-run); the gate exists to catch gross hot-path
-/// regressions, not to benchmark.
+/// Compares every `step_throughput/` and `batch_throughput/` metric
+/// present in both reports. A metric fails when the current run is more
+/// than `max_slowdown`× slower than baseline — the tolerance is
+/// deliberately generous (CI VMs are ±30% noisy run-to-run); the gate
+/// exists to catch gross hot-path regressions, not to benchmark.
 pub fn check_regressions(
     baseline: &[(String, f64)],
     current: &[(String, f64)],
@@ -212,7 +241,8 @@ pub fn check_regressions(
 ) -> Vec<RegressionLine> {
     let mut out = Vec::new();
     for (name, base) in baseline {
-        if !name.starts_with("step_throughput/") || *base <= 0.0 {
+        let gated = name.starts_with("step_throughput/") || name.starts_with("batch_throughput/");
+        if !gated || *base <= 0.0 {
             continue;
         }
         let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
@@ -269,6 +299,8 @@ mod tests {
         let trace = Workload::Db2.generate_scaled(settings.scale, settings.seed);
         let rate = step_throughput(Workload::Db2, Predictor::None, &trace, settings, 1);
         assert!(rate > 0.0);
+        let batch = batch_throughput(Workload::Db2, Predictor::None, &trace, settings, 1);
+        assert!(batch > 0.0);
     }
 
     #[test]
@@ -307,17 +339,20 @@ mod tests {
         let baseline = vec![
             ("step_throughput/DB2/STeMS".to_string(), 1000.0),
             ("step_throughput/DB2/TMS".to_string(), 1000.0),
+            ("batch_throughput/DB2/TMS".to_string(), 1000.0),
             ("figure/fig9/wall".to_string(), 1.0), // not a throughput: ignored
         ];
         let current = vec![
             ("step_throughput/DB2/STeMS".to_string(), 500.0), // 2.0x: within tolerance
             ("step_throughput/DB2/TMS".to_string(), 300.0),   // 3.3x: regression
+            ("batch_throughput/DB2/TMS".to_string(), 200.0),  // 5x: batch rows gated too
         ];
         let lines = check_regressions(&baseline, &current, 2.5);
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert!(!lines[0].failed);
         assert!(lines[1].failed);
         assert!((lines[1].slowdown - 1000.0 / 300.0).abs() < 1e-9);
+        assert!(lines[2].failed, "batch_throughput rows must be gated");
     }
 
     #[test]

@@ -9,9 +9,7 @@ use crate::runner::{
 use stems_analysis::{
     classify, correlation_distance, filter_trace, joint_analysis, JointBreakdown,
 };
-use stems_core::engine::CoverageSim;
 use stems_core::stems::ReconStats;
-use stems_core::StemsPrefetcher;
 use stems_memsim::SystemConfig;
 use stems_workloads::Workload;
 
@@ -427,15 +425,13 @@ pub fn naive_hybrid(settings: Settings) -> String {
 /// Section 4.3: reconstruction placement accuracy.
 pub fn recon_stats(settings: Settings) -> String {
     let results = per_workload(settings, |w, trace| {
-        let cfg = prefetch_config(w);
-        let mut sim = CoverageSim::new(
-            &system_config(settings.scale),
-            &cfg,
-            StemsPrefetcher::new(&cfg),
-        )
-        .with_invalidations(w.invalidation_rate(), 7);
-        sim.run(trace);
-        sim.prefetcher().recon_stats()
+        let mut session = stems_core::Session::builder(&system_config(settings.scale))
+            .prefetch(&prefetch_config(w))
+            .predictor(Predictor::Stems)
+            .invalidations(w.invalidation_rate(), 7)
+            .build();
+        session.run(trace);
+        session.recon_stats().expect("a STeMS session has stats")
     });
     let mut t = Table::new(
         "Section 4.3: reconstruction placement accuracy",

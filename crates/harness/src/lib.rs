@@ -15,5 +15,5 @@ pub mod stats;
 pub use render::{pct, pct_signed, Table};
 pub use runner::{
     parallel_map, per_workload, per_workload_predictor, prefetch_config, run_coverage, run_timing,
-    Predictor, Settings,
+    session_builder, Predictor, Settings,
 };

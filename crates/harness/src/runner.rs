@@ -1,47 +1,15 @@
-//! Experiment plumbing: predictor dispatch and per-workload runs.
+//! Experiment plumbing: session construction and per-workload runs.
 
-use stems_core::engine::{Counters, CoverageSim, NullPrefetcher};
-use stems_core::{
-    NaiveHybrid, PrefetchConfig, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher,
-};
+use stems_core::engine::Counters;
+use stems_core::{PrefetchConfig, Session, SessionBuilder};
 use stems_memsim::SystemConfig;
-use stems_timing::{time_trace, TimingParams, TimingReport};
+use stems_timing::{SessionTiming, TimingParams, TimingReport};
 use stems_trace::Trace;
 use stems_workloads::Workload;
 
-/// The predictors under evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Predictor {
-    /// No prefetching (baseline miss counting).
-    None,
-    /// The baseline system's stride prefetcher.
-    Stride,
-    /// Temporal Memory Streaming.
-    Tms,
-    /// Spatial Memory Streaming.
-    Sms,
-    /// Spatio-Temporal Memory Streaming.
-    Stems,
-    /// TMS and SMS side by side (Section 5.5 strawman).
-    Naive,
-}
-
-impl Predictor {
-    /// The three streaming predictors compared in Figures 9 and 10.
-    pub const STREAMING: [Predictor; 3] = [Predictor::Tms, Predictor::Sms, Predictor::Stems];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Predictor::None => "none",
-            Predictor::Stride => "stride",
-            Predictor::Tms => "TMS",
-            Predictor::Sms => "SMS",
-            Predictor::Stems => "STeMS",
-            Predictor::Naive => "TMS+SMS",
-        }
-    }
-}
+// The predictor registry lives in the core session API now; re-exported
+// so harness callers keep their `runner::Predictor` path.
+pub use stems_core::session::Predictor;
 
 /// Scale/seed/parallelism settings shared by every experiment (parsed
 /// from argv).
@@ -193,6 +161,24 @@ pub fn prefetch_config(workload: Workload) -> PrefetchConfig {
     }
 }
 
+/// The standard per-workload session: the workload's prefetch
+/// configuration and coherence-invalidation injection, with `predictor`
+/// selected via the core factory. Every experiment that doesn't sweep a
+/// knob starts from this builder.
+pub fn session_builder(
+    workload: Workload,
+    predictor: Predictor,
+    sys: &SystemConfig,
+) -> SessionBuilder {
+    Session::builder(sys)
+        .prefetch(&prefetch_config(workload))
+        .predictor(predictor)
+        .invalidations(
+            workload.invalidation_rate(),
+            0xC0FFEE ^ workload.name().len() as u64,
+        )
+}
+
 /// Runs `predictor` over `trace` and returns the coverage counters, with
 /// the workload's coherence-invalidation injection enabled.
 pub fn run_coverage(
@@ -201,29 +187,7 @@ pub fn run_coverage(
     trace: &Trace,
     sys: &SystemConfig,
 ) -> Counters {
-    let cfg = prefetch_config(workload);
-    let rate = workload.invalidation_rate();
-    let seed = 0xC0FFEE ^ workload.name().len() as u64;
-    match predictor {
-        Predictor::None => CoverageSim::new(sys, &cfg, NullPrefetcher)
-            .with_invalidations(rate, seed)
-            .run(trace),
-        Predictor::Stride => CoverageSim::new(sys, &cfg, StridePrefetcher::new(&cfg))
-            .with_invalidations(rate, seed)
-            .run(trace),
-        Predictor::Tms => CoverageSim::new(sys, &cfg, TmsPrefetcher::new(&cfg))
-            .with_invalidations(rate, seed)
-            .run(trace),
-        Predictor::Sms => CoverageSim::new(sys, &cfg, SmsPrefetcher::new(&cfg))
-            .with_invalidations(rate, seed)
-            .run(trace),
-        Predictor::Stems => CoverageSim::new(sys, &cfg, StemsPrefetcher::new(&cfg))
-            .with_invalidations(rate, seed)
-            .run(trace),
-        Predictor::Naive => CoverageSim::new(sys, &cfg, NaiveHybrid::new(&cfg))
-            .with_invalidations(rate, seed)
-            .run(trace),
-    }
+    session_builder(workload, predictor, sys).run(trace)
 }
 
 /// Runs `predictor` over `trace` with timing and returns the report.
@@ -233,29 +197,9 @@ pub fn run_timing(
     trace: &Trace,
     sys: &SystemConfig,
 ) -> TimingReport {
-    let cfg = prefetch_config(workload);
-    let params = TimingParams::from_system(sys);
-    let inval = Some((
-        workload.invalidation_rate(),
-        0xC0FFEE ^ workload.name().len() as u64,
-    ));
-    match predictor {
-        Predictor::None => time_trace(sys, &cfg, &params, NullPrefetcher, trace, inval),
-        Predictor::Stride => time_trace(
-            sys,
-            &cfg,
-            &params,
-            StridePrefetcher::new(&cfg),
-            trace,
-            inval,
-        ),
-        Predictor::Tms => time_trace(sys, &cfg, &params, TmsPrefetcher::new(&cfg), trace, inval),
-        Predictor::Sms => time_trace(sys, &cfg, &params, SmsPrefetcher::new(&cfg), trace, inval),
-        Predictor::Stems => {
-            time_trace(sys, &cfg, &params, StemsPrefetcher::new(&cfg), trace, inval)
-        }
-        Predictor::Naive => time_trace(sys, &cfg, &params, NaiveHybrid::new(&cfg), trace, inval),
-    }
+    session_builder(workload, predictor, sys)
+        .timing(&TimingParams::from_system(sys))
+        .run(trace)
 }
 
 /// Generates every workload's trace in parallel, preserving order.

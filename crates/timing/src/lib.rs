@@ -35,5 +35,8 @@
 pub mod model;
 pub mod multiproc;
 
-pub use model::{time_trace, TimingParams, TimingReport};
+pub use model::{
+    time_trace, SessionTiming, TimedSession, TimedSessionBuilder, TimingModel, TimingParams,
+    TimingReport,
+};
 pub use multiproc::{run_lockstep, MultiProcReport, NodeStats};

@@ -17,12 +17,14 @@
 //! dependence, and MSHR availability, then completes after the latency of
 //! the level that satisfied it.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
-use stems_core::engine::{Counters, CoverageSim, Prefetcher, Satisfied};
+use stems_core::engine::{Counters, CoverageSim, Prefetcher, Satisfied, StepOutcome};
+use stems_core::session::SessionBuilder;
 use stems_core::PrefetchConfig;
 use stems_memsim::SystemConfig;
-use stems_trace::{Dependence, Trace};
+use stems_trace::{Access, Dependence, Trace};
 use stems_types::{fx_map_with_capacity, BlockAddr, FxHashMap};
 
 /// Latency and resource parameters for the timing model.
@@ -110,6 +112,226 @@ impl TimingReport {
     }
 }
 
+/// The per-access event records of the timing model: the ROB retirement
+/// window, MSHR occupancy, and in-flight prefetch arrival times.
+///
+/// Allocated once and recycled across runs through a thread-local pool
+/// (the ROADMAP-named candidate): every `run_timing` cell used to pay a
+/// fresh `VecDeque`/hash-map growth curve; a recycled scratch starts at
+/// the high-water capacity of the previous run on the same worker
+/// thread.
+#[derive(Debug)]
+struct TimingScratch {
+    /// (instruction index, retire time) per past access, pending ROB
+    /// exit.
+    window: VecDeque<(u64, u64)>,
+    /// Completion times of outstanding off-chip accesses (MSHR
+    /// occupancy).
+    mshr_q: VecDeque<u64>,
+    /// Arrival times of in-flight/banked prefetched blocks.
+    ready: FxHashMap<BlockAddr, u64>,
+}
+
+/// Capacity above which [`TimingScratch::reset`] gives memory back
+/// instead of parking it in the pool: generously above any steady-state
+/// run's needs (the ROB window holds ≤ `rob` entries, the MSHR queue ≤
+/// `mshrs`; only the `ready` map can balloon under pathological
+/// prefetch bursts).
+const SCRATCH_RETAIN_CAPACITY: usize = 1 << 16;
+
+impl TimingScratch {
+    fn fresh() -> Box<TimingScratch> {
+        Box::new(TimingScratch {
+            window: VecDeque::new(),
+            mshr_q: VecDeque::new(),
+            ready: fx_map_with_capacity(1024),
+        })
+    }
+
+    /// Drains all records, keeping their capacity for the next run —
+    /// except buffers a pathological run grew past
+    /// [`SCRATCH_RETAIN_CAPACITY`], which are shrunk so the pool never
+    /// pins a high-water footprint for the thread's lifetime.
+    fn reset(&mut self) {
+        self.window.clear();
+        self.window.shrink_to(SCRATCH_RETAIN_CAPACITY);
+        self.mshr_q.clear();
+        self.mshr_q.shrink_to(SCRATCH_RETAIN_CAPACITY);
+        self.ready.clear();
+        self.ready.shrink_to(SCRATCH_RETAIN_CAPACITY);
+    }
+}
+
+thread_local! {
+    /// Per-thread pool of retired [`TimingScratch`] records. One slot is
+    /// enough: timing runs do not nest within a worker thread.
+    static SCRATCH_POOL: RefCell<Option<Box<TimingScratch>>> = const { RefCell::new(None) };
+}
+
+fn acquire_scratch() -> Box<TimingScratch> {
+    SCRATCH_POOL
+        .with(|pool| pool.borrow_mut().take())
+        .unwrap_or_else(TimingScratch::fresh)
+}
+
+/// The ROB/MSHR/bandwidth core model as a step observer: feed it each
+/// access and the engine's [`StepOutcome`] in trace order, then
+/// [`TimingModel::finish`] with the finalized counters.
+///
+/// This is the state machine behind [`time_trace`], split out so a
+/// [`stems_core::session::Session`] can drive it through the batched
+/// `run_chunk_with` path.
+#[derive(Debug)]
+pub struct TimingModel {
+    params: TimingParams,
+    instr: u64,
+    prev_complete: u64,
+    prev_retire: u64,
+    rob_floor: u64,
+    /// Next cycle the off-chip fetch port is free.
+    bw_free: u64,
+    end: u64,
+    /// `Some` until Drop retires it into the pool — an `Option` so the
+    /// drop path can move the box out without allocating a replacement.
+    scratch: Option<Box<TimingScratch>>,
+}
+
+impl TimingModel {
+    /// Creates a model at cycle zero, reusing a pooled scratch record
+    /// when one is available on this thread.
+    pub fn new(params: &TimingParams) -> Self {
+        TimingModel {
+            params: params.clone(),
+            instr: 0,
+            prev_complete: 0,
+            prev_retire: 0,
+            rob_floor: 0,
+            bw_free: 0,
+            end: 0,
+            scratch: Some(acquire_scratch()),
+        }
+    }
+
+    /// Accounts one access and the engine outcome that resolved it.
+    pub fn observe(&mut self, access: &Access, out: &StepOutcome) {
+        let params = &self.params;
+        let scratch = &mut **self.scratch.as_mut().expect("scratch present until drop");
+        let block = access.addr.block();
+        self.instr += access.work_before as u64 + 1;
+
+        // Program-order dispatch slot.
+        let mut t = self.instr / params.width;
+        // ROB: everything more than `rob` instructions older must have
+        // retired before this access can dispatch.
+        let limit = self.instr.saturating_sub(params.rob);
+        while let Some(&(idx, retire)) = scratch.window.front() {
+            if idx <= limit {
+                self.rob_floor = self.rob_floor.max(retire);
+                scratch.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        t = t.max(self.rob_floor);
+        // Data dependence: a pointer chase waits for the previous access.
+        if access.dep == Dependence::OnPrevAccess {
+            t = t.max(self.prev_complete);
+        }
+
+        let latency = match out.satisfied {
+            Satisfied::L1 => {
+                if out.prefetched_hit {
+                    // First touch of an SMS-prefetched block: wait for its
+                    // fetch to arrive if it has not yet.
+                    let arrive = scratch.ready.remove(&block).unwrap_or(0);
+                    params.l1_latency + arrive.saturating_sub(t)
+                } else {
+                    params.l1_latency
+                }
+            }
+            Satisfied::Svb(_) => {
+                let arrive = scratch.ready.remove(&block).unwrap_or(0);
+                params.svb_latency + arrive.saturating_sub(t)
+            }
+            Satisfied::L2 => params.l2_latency,
+            Satisfied::OffChip => {
+                // MSHR admission.
+                while let Some(&done) = scratch.mshr_q.front() {
+                    if done <= t {
+                        scratch.mshr_q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if scratch.mshr_q.len() >= params.mshrs {
+                    t = t.max(scratch.mshr_q.pop_front().expect("mshr queue nonempty"));
+                }
+                // Bandwidth: the demand fetch occupies the off-chip port.
+                let start = t.max(self.bw_free);
+                self.bw_free = start + params.fetch_bw_cycles;
+                let complete_in = (start - t) + params.offchip_latency;
+                let pos = scratch
+                    .mshr_q
+                    .binary_search(&(t + complete_in))
+                    .unwrap_or_else(|e| e);
+                scratch.mshr_q.insert(pos, t + complete_in);
+                complete_in
+            }
+        };
+
+        // Prefetches issued while handling this access occupy bandwidth
+        // and arrive one off-chip latency later.
+        for fetched in &out.fetched {
+            let start = t.max(self.bw_free);
+            self.bw_free = start + params.fetch_bw_cycles;
+            scratch
+                .ready
+                .insert(*fetched, start + params.offchip_latency);
+        }
+
+        let complete = t + latency;
+        self.prev_complete = complete;
+        self.prev_retire = self.prev_retire.max(complete);
+        scratch.window.push_back((self.instr, self.prev_retire));
+        self.end = self
+            .end
+            .max(self.prev_retire)
+            .max(self.instr / params.width);
+
+        // Bound the in-flight bookkeeping.
+        if scratch.ready.len() > 1 << 20 {
+            scratch.ready.clear();
+        }
+    }
+
+    /// Completes the run, pairing the timed cycles with the functional
+    /// `counters` of the same run.
+    pub fn finish(self, counters: Counters) -> TimingReport {
+        TimingReport {
+            cycles: self.end.max(1),
+            instructions: self.instr,
+            counters,
+        }
+    }
+}
+
+impl Drop for TimingModel {
+    /// Retires the scratch record into the thread-local pool so the next
+    /// run on this thread starts at the previous (bounded) capacity.
+    fn drop(&mut self) {
+        let Some(mut scratch) = self.scratch.take() else {
+            return;
+        };
+        scratch.reset();
+        SCRATCH_POOL.with(|pool| {
+            let mut slot = pool.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(scratch);
+            }
+        });
+    }
+}
+
 /// Runs `prefetcher` over `trace` with full timing.
 ///
 /// `invalidations` optionally enables coherence-invalidation injection
@@ -126,109 +348,101 @@ pub fn time_trace<P: Prefetcher>(
     if let Some((rate, seed)) = invalidations {
         sim = sim.with_invalidations(rate, seed);
     }
+    let mut model = TimingModel::new(params);
+    sim.run_chunk_with(trace.as_slice(), |access, out| model.observe(access, out));
+    model.finish(sim.finalize())
+}
 
-    let mut instr: u64 = 0;
-    let mut prev_complete: u64 = 0;
-    let mut prev_retire: u64 = 0;
-    // (instruction index, retire time) per past access, pending ROB exit.
-    let mut window: VecDeque<(u64, u64)> = VecDeque::new();
-    let mut rob_floor: u64 = 0;
-    // Completion times of outstanding off-chip accesses (MSHR occupancy).
-    let mut mshr_q: VecDeque<u64> = VecDeque::new();
-    // Next cycle the off-chip fetch port is free.
-    let mut bw_free: u64 = 0;
-    // Arrival times of in-flight/banked prefetched blocks.
-    let mut ready: FxHashMap<BlockAddr, u64> = fx_map_with_capacity(1024);
-    let mut end: u64 = 0;
+/// Extends [`SessionBuilder`] with the timing model, completing the
+/// builder chain the harness uses:
+///
+/// ```
+/// use stems_core::session::{Predictor, Session};
+/// use stems_core::PrefetchConfig;
+/// use stems_memsim::SystemConfig;
+/// use stems_timing::{SessionTiming, TimingParams};
+/// use stems_trace::Trace;
+///
+/// let sys = SystemConfig::small();
+/// let mut trace = Trace::new();
+/// trace.read(0x400, 0x10_0000);
+/// let report = Session::builder(&sys)
+///     .prefetch(&PrefetchConfig::small())
+///     .predictor(Predictor::Tms)
+///     .timing(&TimingParams::from_system(&sys))
+///     .run(&trace);
+/// assert_eq!(report.counters.accesses, 1);
+/// ```
+pub trait SessionTiming {
+    /// Attaches the ROB/MSHR/bandwidth timing model to the session under
+    /// construction.
+    fn timing(self, params: &TimingParams) -> TimedSessionBuilder;
+}
 
-    for access in trace.iter() {
-        let out = sim.step(access);
-        let block = access.addr.block();
-        instr += access.work_before as u64 + 1;
-
-        // Program-order dispatch slot.
-        let mut t = instr / params.width;
-        // ROB: everything more than `rob` instructions older must have
-        // retired before this access can dispatch.
-        let limit = instr.saturating_sub(params.rob);
-        while let Some(&(idx, retire)) = window.front() {
-            if idx <= limit {
-                rob_floor = rob_floor.max(retire);
-                window.pop_front();
-            } else {
-                break;
-            }
-        }
-        t = t.max(rob_floor);
-        // Data dependence: a pointer chase waits for the previous access.
-        if access.dep == Dependence::OnPrevAccess {
-            t = t.max(prev_complete);
-        }
-
-        let latency = match out.satisfied {
-            Satisfied::L1 => {
-                if out.prefetched_hit {
-                    // First touch of an SMS-prefetched block: wait for its
-                    // fetch to arrive if it has not yet.
-                    let arrive = ready.remove(&block).unwrap_or(0);
-                    params.l1_latency + arrive.saturating_sub(t)
-                } else {
-                    params.l1_latency
-                }
-            }
-            Satisfied::Svb(_) => {
-                let arrive = ready.remove(&block).unwrap_or(0);
-                params.svb_latency + arrive.saturating_sub(t)
-            }
-            Satisfied::L2 => params.l2_latency,
-            Satisfied::OffChip => {
-                // MSHR admission.
-                while let Some(&done) = mshr_q.front() {
-                    if done <= t {
-                        mshr_q.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-                if mshr_q.len() >= params.mshrs {
-                    t = t.max(mshr_q.pop_front().expect("mshr queue nonempty"));
-                }
-                // Bandwidth: the demand fetch occupies the off-chip port.
-                let start = t.max(bw_free);
-                bw_free = start + params.fetch_bw_cycles;
-                let complete_in = (start - t) + params.offchip_latency;
-                let pos = mshr_q
-                    .binary_search(&(t + complete_in))
-                    .unwrap_or_else(|e| e);
-                mshr_q.insert(pos, t + complete_in);
-                complete_in
-            }
-        };
-
-        // Prefetches issued while handling this access occupy bandwidth
-        // and arrive one off-chip latency later.
-        for fetched in &out.fetched {
-            let start = t.max(bw_free);
-            bw_free = start + params.fetch_bw_cycles;
-            ready.insert(*fetched, start + params.offchip_latency);
-        }
-
-        let complete = t + latency;
-        prev_complete = complete;
-        prev_retire = prev_retire.max(complete);
-        window.push_back((instr, prev_retire));
-        end = end.max(prev_retire).max(instr / params.width);
-
-        // Bound the in-flight bookkeeping.
-        if ready.len() > 1 << 20 {
-            ready.clear();
+impl SessionTiming for SessionBuilder {
+    fn timing(self, params: &TimingParams) -> TimedSessionBuilder {
+        TimedSessionBuilder {
+            session: self,
+            params: params.clone(),
         }
     }
-    let counters = sim.finalize();
-    TimingReport {
-        cycles: end.max(1),
-        instructions: instr,
-        counters,
+}
+
+/// A [`SessionBuilder`] with a timing model attached; see
+/// [`SessionTiming::timing`].
+#[derive(Clone, Debug)]
+pub struct TimedSessionBuilder {
+    session: SessionBuilder,
+    params: TimingParams,
+}
+
+impl TimedSessionBuilder {
+    /// Builds the timed session with empty caches at cycle zero.
+    pub fn build(self) -> TimedSession {
+        TimedSession {
+            session: self.session.build(),
+            model: TimingModel::new(&self.params),
+        }
+    }
+
+    /// Convenience: builds the session, runs the whole trace through the
+    /// batched path, and returns the timing report.
+    pub fn run(self, trace: &Trace) -> TimingReport {
+        self.build().run(trace)
+    }
+}
+
+/// A [`stems_core::session::Session`] whose outcomes feed the timing
+/// model as they are produced by the batched engine path.
+#[derive(Debug)]
+pub struct TimedSession {
+    session: stems_core::session::Session,
+    model: TimingModel,
+}
+
+impl TimedSession {
+    /// Delivers a batch of accesses to the engine and the timing model.
+    pub fn run_chunk(&mut self, chunk: &[Access]) {
+        let model = &mut self.model;
+        self.session
+            .run_chunk_with(chunk, |access, out| model.observe(access, out));
+    }
+
+    /// The functional session under the timing model.
+    pub fn session(&self) -> &stems_core::session::Session {
+        &self.session
+    }
+
+    /// Finalizes the functional counters and completes the report.
+    pub fn finish(self) -> TimingReport {
+        let TimedSession { mut session, model } = self;
+        model.finish(session.finalize())
+    }
+
+    /// Runs the whole trace and finishes.
+    pub fn run(mut self, trace: &Trace) -> TimingReport {
+        self.run_chunk(trace.as_slice());
+        self.finish()
     }
 }
 
@@ -346,6 +560,54 @@ mod tests {
         let r = run_null(&t);
         let p = params();
         assert!(r.cycles >= 48 * p.fetch_bw_cycles);
+    }
+
+    #[test]
+    fn timed_session_matches_time_trace() {
+        use stems_core::session::{Predictor, Session};
+
+        let mut t = Trace::new();
+        for _ in 0..3 {
+            for i in 0..200u64 {
+                let a = Addr::new(((i * 7919 + 13) % 512) * (1 << 21));
+                t.push(
+                    Access::read(Pc::new(1), a)
+                        .with_dep(Dependence::OnPrevAccess)
+                        .with_work(4),
+                );
+            }
+        }
+        for p in Predictor::all() {
+            let direct = time_trace(
+                &sys(),
+                &cfg(),
+                &params(),
+                p.build(&cfg()),
+                &t,
+                Some((0.01, 9)),
+            );
+            let via_session = Session::builder(&sys())
+                .prefetch(&cfg())
+                .predictor(p)
+                .invalidations(0.01, 9)
+                .timing(&params())
+                .run(&t);
+            assert_eq!(direct, via_session, "{p}");
+        }
+    }
+
+    /// The thread-local scratch pool must be invisible in the results:
+    /// back-to-back runs on one thread (the second reusing the first's
+    /// retired records) report identical cycles and counters.
+    #[test]
+    fn pooled_scratch_does_not_change_results() {
+        let mut t = Trace::new();
+        for i in 0..500u64 {
+            t.push(Access::read(Pc::new(1), Addr::new((i % 96) * (1 << 21))).with_work(2));
+        }
+        let first = run_null(&t);
+        let second = run_null(&t);
+        assert_eq!(first, second);
     }
 
     #[test]

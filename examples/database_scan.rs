@@ -11,8 +11,7 @@
 //! cargo run --release --example database_scan
 //! ```
 
-use stems::core::engine::{CoverageSim, NullPrefetcher};
-use stems::core::{PrefetchConfig, SmsPrefetcher, StemsPrefetcher, TmsPrefetcher};
+use stems::core::{Predictor, PrefetchConfig, Session};
 use stems::memsim::SystemConfig;
 use stems::trace::Trace;
 
@@ -40,22 +39,33 @@ fn index_scan(pages: u64, passes: usize) -> Trace {
 fn main() {
     let sys = SystemConfig::small();
     let cfg = PrefetchConfig::small();
+    let run = |p: Predictor, trace: &Trace| {
+        Session::builder(&sys)
+            .prefetch(&cfg)
+            .predictor(p)
+            .run(trace)
+    };
+
     let two_pass = index_scan(4096, 2);
-    let baseline = CoverageSim::new(&sys, &cfg, NullPrefetcher).run(&two_pass);
+    let baseline = run(Predictor::None, &two_pass);
     println!("index scan over 4096 scattered pages, two traversals");
     println!("baseline: {} off-chip read misses\n", baseline.uncovered);
 
-    let tms = CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg)).run(&two_pass);
-    let sms = CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg)).run(&two_pass);
-    let stems = CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg)).run(&two_pass);
-    for (name, c, note) in [
-        ("TMS", &tms, "replays the first traversal's miss order"),
-        ("SMS", &sms, "learns the page layout, misses the page order"),
-        ("STeMS", &stems, "reconstructs page order + layout together"),
+    for (p, note) in [
+        (Predictor::Tms, "replays the first traversal's miss order"),
+        (
+            Predictor::Sms,
+            "learns the page layout, misses the page order",
+        ),
+        (
+            Predictor::Stems,
+            "reconstructs page order + layout together",
+        ),
     ] {
+        let c = run(p, &two_pass);
         println!(
             "{:<6} coverage {:>5.1}%  overprediction {:>5.1}%   <- {}",
-            name,
+            p.name(),
             100.0 * c.coverage_vs(baseline.uncovered),
             100.0 * c.overprediction_vs(baseline.uncovered),
             note
@@ -65,9 +75,9 @@ fn main() {
     // The compulsory case: pages never seen before. Only spatial
     // prediction (SMS, or STeMS's spatial-only streams) can help.
     let first_pass = index_scan(4096, 1);
-    let base1 = CoverageSim::new(&sys, &cfg, NullPrefetcher).run(&first_pass);
-    let tms1 = CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg)).run(&first_pass);
-    let stems1 = CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg)).run(&first_pass);
+    let base1 = run(Predictor::None, &first_pass);
+    let tms1 = run(Predictor::Tms, &first_pass);
+    let stems1 = run(Predictor::Stems, &first_pass);
     println!(
         "\nfirst-ever traversal (all compulsory): TMS covers {:.1}%, STeMS \
          covers {:.1}% via spatial-only streams",

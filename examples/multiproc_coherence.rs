@@ -8,6 +8,7 @@
 //! cargo run --release --example multiproc_coherence
 //! ```
 
+use stems::core::{PrefetchConfig, Session};
 use stems::memsim::SystemConfig;
 use stems::timing::run_lockstep;
 use stems::trace::Trace;
@@ -52,5 +53,19 @@ fn main() {
          harness injects {:.2e} for OLTP)",
         total.invalidation_rate(),
         workload.invalidation_rate()
+    );
+
+    // The single-node approximation of the same pressure: a session with
+    // invalidation injection enabled at the workload's rate.
+    let single = Session::builder(&sys)
+        .prefetch(&PrefetchConfig::commercial())
+        .invalidations(workload.invalidation_rate(), 7)
+        .run(&traces[0]);
+    println!(
+        "single-node session injects {} invalidations over {} accesses \
+         ({:.2e} per access)",
+        single.invalidations,
+        single.accesses,
+        single.invalidations as f64 / single.accesses.max(1) as f64
     );
 }

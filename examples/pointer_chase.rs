@@ -3,16 +3,16 @@
 //!
 //! A dependent-miss chain serializes at one off-chip latency per node;
 //! a temporal stream fetches the chain's future nodes in parallel. This
-//! example times both with the ROB-window timing model.
+//! example times both with the ROB-window timing model, attached to the
+//! session via the `.timing(..)` builder stage.
 //!
 //! ```sh
 //! cargo run --release --example pointer_chase
 //! ```
 
-use stems::core::engine::NullPrefetcher;
-use stems::core::{PrefetchConfig, StemsPrefetcher, TmsPrefetcher};
+use stems::core::{Predictor, PrefetchConfig, Session};
 use stems::memsim::SystemConfig;
-use stems::timing::{time_trace, TimingParams};
+use stems::timing::{SessionTiming, TimingParams};
 use stems::trace::{Access, Dependence, Trace};
 use stems::types::{Addr, Pc};
 
@@ -39,16 +39,16 @@ fn main() {
     let params = TimingParams::from_system(&sys);
     let trace = chase(2048, 4);
 
-    let base = time_trace(&sys, &cfg, &params, NullPrefetcher, &trace, None);
-    let tms = time_trace(&sys, &cfg, &params, TmsPrefetcher::new(&cfg), &trace, None);
-    let stems = time_trace(
-        &sys,
-        &cfg,
-        &params,
-        StemsPrefetcher::new(&cfg),
-        &trace,
-        None,
-    );
+    let timed = |p: Predictor| {
+        Session::builder(&sys)
+            .prefetch(&cfg)
+            .predictor(p)
+            .timing(&params)
+            .run(&trace)
+    };
+    let base = timed(Predictor::None);
+    let tms = timed(Predictor::Tms);
+    let stems = timed(Predictor::Stems);
 
     println!("pointer chase: 2048-node list, 4 laps, every miss dependent");
     println!("{:<10} {:>12} {:>8} {:>10}", "", "cycles", "IPC", "speedup");

@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use stems::core::engine::{CoverageSim, NullPrefetcher};
-use stems::core::{
-    PrefetchConfig, SmsPrefetcher, StemsPrefetcher, StridePrefetcher, TmsPrefetcher,
-};
+use stems::core::{Predictor, Session};
 use stems::harness::runner::system_config;
 use stems::workloads::Workload;
 
@@ -16,12 +13,21 @@ fn main() {
     let scale = 0.1;
     let workload = Workload::Db2;
     let sys = system_config(scale);
-    let cfg = PrefetchConfig::commercial();
+    let cfg = stems::core::PrefetchConfig::commercial();
     println!("generating {workload} trace (scale {scale})...");
     let trace = workload.generate_scaled(scale, 42);
     println!("  {}", trace.stats());
 
-    let baseline = CoverageSim::new(&sys, &cfg, NullPrefetcher).run(&trace);
+    // One builder per run: same system, same prefetch config, a
+    // different predictor from the core registry each time.
+    let run = |p: Predictor| {
+        Session::builder(&sys)
+            .prefetch(&cfg)
+            .predictor(p)
+            .run(&trace)
+    };
+
+    let baseline = run(Predictor::None);
     println!(
         "baseline: {} off-chip read misses over {} accesses",
         baseline.uncovered, baseline.accesses
@@ -31,19 +37,19 @@ fn main() {
         "\n{:<8} {:>10} {:>14} {:>10}",
         "", "covered", "overpredicted", "fetches"
     );
-    let stride = CoverageSim::new(&sys, &cfg, StridePrefetcher::new(&cfg)).run(&trace);
-    let tms = CoverageSim::new(&sys, &cfg, TmsPrefetcher::new(&cfg)).run(&trace);
-    let sms = CoverageSim::new(&sys, &cfg, SmsPrefetcher::new(&cfg)).run(&trace);
-    let stems = CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg)).run(&trace);
-    for (name, c) in [
-        ("stride", &stride),
-        ("TMS", &tms),
-        ("SMS", &sms),
-        ("STeMS", &stems),
+    let stride = run(Predictor::Stride);
+    let tms = run(Predictor::Tms);
+    let sms = run(Predictor::Sms);
+    let stems = run(Predictor::Stems);
+    for (p, c) in [
+        (Predictor::Stride, &stride),
+        (Predictor::Tms, &tms),
+        (Predictor::Sms, &sms),
+        (Predictor::Stems, &stems),
     ] {
         println!(
             "{:<8} {:>9.1}% {:>13.1}% {:>10}",
-            name,
+            p.name(),
             100.0 * c.coverage_vs(baseline.uncovered),
             100.0 * c.overprediction_vs(baseline.uncovered),
             c.fetches

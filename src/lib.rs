@@ -9,7 +9,8 @@
 //! from scratch:
 //!
 //! * [`core`] — the prefetchers: STeMS, TMS, SMS, stride, the naive
-//!   TMS+SMS hybrid, and the trace-driven coverage engine;
+//!   TMS+SMS hybrid, the trace-driven coverage engine, and the unified
+//!   `Session` API every driver goes through;
 //! * [`memsim`] — caches, the directory protocol, and the torus;
 //! * [`workloads`] — synthetic equivalents of the paper's ten
 //!   applications;
@@ -21,16 +22,18 @@
 //! # Quickstart
 //!
 //! ```
-//! use stems::core::engine::{CoverageSim, NullPrefetcher};
-//! use stems::core::{PrefetchConfig, StemsPrefetcher};
+//! use stems::core::{Predictor, PrefetchConfig, Session};
 //! use stems::memsim::SystemConfig;
 //! use stems::workloads::Workload;
 //!
 //! let trace = Workload::Qry2.generate_scaled(0.01, 42);
 //! let sys = SystemConfig::small();
 //! let cfg = PrefetchConfig::commercial();
-//! let baseline = CoverageSim::new(&sys, &cfg, NullPrefetcher).run(&trace);
-//! let stems = CoverageSim::new(&sys, &cfg, StemsPrefetcher::new(&cfg)).run(&trace);
+//! let baseline = Session::builder(&sys).prefetch(&cfg).run(&trace);
+//! let stems = Session::builder(&sys)
+//!     .prefetch(&cfg)
+//!     .predictor(Predictor::Stems)
+//!     .run(&trace);
 //! assert!(stems.covered > 0);
 //! assert!(stems.uncovered < baseline.uncovered);
 //! ```
