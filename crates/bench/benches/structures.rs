@@ -121,6 +121,66 @@ fn bench_workload_generation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Bitmap-ring vs retained-deque reconstruction placement (PR 5): an
+/// identical RMOB/PST stream is expanded and drained through both window
+/// implementations, so the win from mask-and-shift slot probes and
+/// set-bit drains is measurable in isolation from the rest of STeMS.
+fn bench_recon_window(c: &mut Criterion) {
+    use stems_core::sms::spatial_index;
+    use stems_core::stems::recon::oracle::DequeReconstructor;
+    use stems_core::stems::{Pst, Reconstructor, Rmob, RmobEntry};
+    use stems_types::{BlockOffset, Delta, Pc, RegionAddr};
+
+    // A sparse skeleton: large temporal deltas leave long empty-slot runs
+    // between placements, so the drain path (set-bit walk vs per-slot
+    // pops) and slot probing dominate over PST expansion overhead, while
+    // the clustered spatial sequences still force ±search probing.
+    let mut rmob = Rmob::new(8192);
+    for i in 0..4000u64 {
+        rmob.append(RmobEntry {
+            block: RegionAddr::new(i % 97).block_at(BlockOffset::new((i * 7 % 32) as u8)),
+            pc: Pc::new(1 + i % 5),
+            delta: Delta::from((11 + (i % 3) * 17) as u8),
+        });
+    }
+    let mut pst = Pst::new(256);
+    for i in 0..5u64 {
+        for o in 0..32u8 {
+            let seq: stems_types::SpatialSequence = (0..4)
+                .map(|k| (BlockOffset::new((o + 5 * k + 1) % 32), Delta::from(k % 2)))
+                .collect();
+            for _ in 0..2 {
+                pst.train(spatial_index(Pc::new(1 + i), BlockOffset::new(o)), &seq);
+            }
+        }
+    }
+    let mut g = c.benchmark_group("recon_window");
+    g.throughput(Throughput::Elements(4000));
+    g.bench_function("bitmap_ring_place_drain", |b| {
+        let mut out = std::collections::VecDeque::new();
+        b.iter(|| {
+            let mut r = Reconstructor::new(0, 256, 2);
+            out.clear();
+            while r.produce_into(64, &rmob, &mut pst, |_, _| {}, &mut out) > 0 {
+                out.clear();
+            }
+            black_box(r.stats.attempts())
+        })
+    });
+    g.bench_function("deque_place_drain", |b| {
+        let mut out = std::collections::VecDeque::new();
+        b.iter(|| {
+            let mut r = DequeReconstructor::new(0, 256, 2);
+            out.clear();
+            while r.produce_into(64, &rmob, &mut pst, |_, _| {}, &mut out) > 0 {
+                out.clear();
+            }
+            black_box(r.stats.attempts())
+        })
+    });
+    g.finish();
+}
+
 fn bench_prefetcher_throughput(c: &mut Criterion) {
     let trace = Workload::Db2.generate_scaled(0.02, 7);
     let sys = SystemConfig::small();
@@ -147,6 +207,7 @@ criterion_group! {
     name = structures;
     config = Criterion::default().sample_size(20);
     targets = bench_cache, bench_hierarchy_probe, bench_lru, bench_order_buffer,
-              bench_sequitur, bench_workload_generation, bench_prefetcher_throughput
+              bench_recon_window, bench_sequitur, bench_workload_generation,
+              bench_prefetcher_throughput
 }
 criterion_main!(structures);

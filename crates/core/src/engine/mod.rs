@@ -22,7 +22,7 @@ mod sim;
 mod svb;
 
 pub use sim::{Counters, CoverageSim, InvalidationInjector, StepOutcome};
-pub use svb::Svb;
+pub use svb::{Svb, SvbInsert};
 
 use stems_types::{BlockAddr, Pc};
 

@@ -6,7 +6,9 @@ use stems_types::{BlockAddr, FetchList, FxHashSet};
 
 use crate::util::XorShift64;
 
-use super::{AccessEvent, EvictKind, PrefetchSink, Prefetcher, Satisfied, StreamTag, Svb};
+use super::{
+    AccessEvent, EvictKind, PrefetchSink, Prefetcher, Satisfied, StreamTag, Svb, SvbInsert,
+};
 
 /// Counters produced by a coverage run (Figure 9 accounting).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -177,16 +179,23 @@ struct EngineSink<'a> {
 
 impl PrefetchSink for EngineSink<'_> {
     fn fetch_svb(&mut self, block: BlockAddr, tag: StreamTag) -> bool {
-        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) || self.svb.contains(block) {
+        if self.hierarchy.in_l1(block) || self.hierarchy.in_l2(block) {
             return false;
         }
-        self.counters.fetches += 1;
-        self.fetched.push(block);
-        if let Some((b, t)) = self.svb.insert(block, tag) {
-            self.counters.overpredictions += 1;
-            self.svb_evictions.push((b, t));
+        // Single-hash SVB admission: residency check and insert share one
+        // index probe (this runs for every candidate a stream pumps).
+        match self.svb.try_insert(block, tag) {
+            SvbInsert::AlreadyResident => false,
+            SvbInsert::Inserted(evicted) => {
+                self.counters.fetches += 1;
+                self.fetched.push(block);
+                if let Some((b, t)) = evicted {
+                    self.counters.overpredictions += 1;
+                    self.svb_evictions.push((b, t));
+                }
+                true
+            }
         }
-        true
     }
 
     fn fetch_l1(&mut self, block: BlockAddr) -> bool {
@@ -275,16 +284,24 @@ impl<P: Prefetcher> CoverageSim<P> {
         if access.is_read() {
             self.counters.reads += 1;
         }
+        let block = access.addr.block();
         if let Some(inj) = &mut self.injector {
-            inj.observe(access.addr.block());
+            inj.observe(block);
         }
-        self.step_core(access, self.observes_l1_hits)
+        let l1_base = self.hierarchy.l1_set_base(block);
+        self.step_core(access, block, l1_base, self.observes_l1_hits)
     }
 
     /// Processes `chunk` in one call, hoisting the per-access overheads
     /// the scalar wrapper pays on every step: the injector presence
     /// branch, the `observes_l1_hits` consult, and the access/read
     /// counter bookkeeping (accumulated locally, committed per chunk).
+    /// Each access's block address and L1 set base are decoded ahead of
+    /// the per-access core and redeemed via `Hierarchy::probe_at`. (A
+    /// chunk-wide pre-decode pass staging them through a scratch vector
+    /// was measured 4-10% *slower* — the extra pass and buffer traffic
+    /// outweighed any vectorization of the address arithmetic — so the
+    /// decode stays per-access, just hoisted out of `step_core`.)
     ///
     /// Counters, prefetcher event order, and RNG streams are identical to
     /// an access-by-access [`CoverageSim::step`] loop over the same
@@ -309,16 +326,20 @@ impl<P: Prefetcher> CoverageSim<P> {
             for access in chunk {
                 reads += access.is_read() as u64;
                 self.maybe_invalidate();
+                let block = access.addr.block();
                 if let Some(inj) = &mut self.injector {
-                    inj.observe(access.addr.block());
+                    inj.observe(block);
                 }
-                let out = self.step_core(access, observes_l1_hits);
+                let l1_base = self.hierarchy.l1_set_base(block);
+                let out = self.step_core(access, block, l1_base, observes_l1_hits);
                 visit(access, &out);
             }
         } else {
             for access in chunk {
                 reads += access.is_read() as u64;
-                let out = self.step_core(access, observes_l1_hits);
+                let block = access.addr.block();
+                let l1_base = self.hierarchy.l1_set_base(block);
+                let out = self.step_core(access, block, l1_base, observes_l1_hits);
                 visit(access, &out);
             }
         }
@@ -328,17 +349,23 @@ impl<P: Prefetcher> CoverageSim<P> {
     /// The per-access core shared by [`CoverageSim::step`] and the
     /// chunked paths: cache/SVB resolution, counter classification, event
     /// delivery, and eviction hooks. Counter bookkeeping for
-    /// `accesses`/`reads` and invalidation injection happen in the
-    /// callers.
-    fn step_core(&mut self, access: &Access, observes_l1_hits: bool) -> StepOutcome {
-        let block = access.addr.block();
+    /// `accesses`/`reads`, invalidation injection, and the
+    /// block/L1-set-base decode (`l1_base` must equal
+    /// `hierarchy.l1_set_base(block)`) happen in the callers.
+    fn step_core(
+        &mut self,
+        access: &Access,
+        block: BlockAddr,
+        l1_base: usize,
+        observes_l1_hits: bool,
+    ) -> StepOutcome {
         let is_write = !access.is_read();
 
         self.scratch.l1_evicted.clear();
         let mut prefetched_hit = false;
-        // Single-pass probe: one L1 tag computation resolves the whole
-        // SVB/L1/L2 pipeline, with the SVB consulted (exactly once) only
-        // after the L1 missed, and evictions appended to scratch.
+        // Single-pass probe: the pre-decoded L1 set base resolves the
+        // whole SVB/L1/L2 pipeline, with the SVB consulted (exactly once)
+        // only after the L1 missed, and evictions appended to scratch.
         let Self {
             hierarchy,
             svb,
@@ -346,7 +373,8 @@ impl<P: Prefetcher> CoverageSim<P> {
             ..
         } = self;
         let mut svb_tag = None;
-        let level = hierarchy.probe(
+        let level = hierarchy.probe_at(
+            l1_base,
             block,
             is_write,
             || {

@@ -10,6 +10,16 @@ use stems_types::{fx_map_with_capacity, BlockAddr, FxHashMap};
 
 use super::StreamTag;
 
+/// Outcome of [`Svb::try_insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SvbInsert {
+    /// The block was already resident; nothing changed.
+    AlreadyResident,
+    /// The block was admitted, evicting the carried victim if the buffer
+    /// was full.
+    Inserted(Option<(BlockAddr, StreamTag)>),
+}
+
 /// The streamed value buffer: block tags plus owning-stream tags.
 #[derive(Clone, Debug)]
 pub struct Svb {
@@ -56,24 +66,51 @@ impl Svb {
     /// Inserts a prefetched block; returns the FIFO-evicted victim if the
     /// buffer was full. Inserting a resident block is a no-op.
     pub fn insert(&mut self, block: BlockAddr, tag: StreamTag) -> Option<(BlockAddr, StreamTag)> {
-        if self.index.contains_key(&block) {
-            return None;
+        match self.try_insert(block, tag) {
+            SvbInsert::AlreadyResident => None,
+            SvbInsert::Inserted(evicted) => evicted,
         }
-        let mut evicted = None;
-        if self.index.len() == self.capacity {
-            // Oldest entry still resident (lazy deletion: skip stale).
-            while let Some((b, t)) = self.fifo.pop_front() {
-                if let Some(vt) = self.index.remove(&b) {
-                    self.per_tag[vt.0 as usize] -= 1;
-                    evicted = Some((b, t));
-                    break;
+    }
+
+    /// Single-hash [`Svb::insert`] that distinguishes "was already
+    /// resident" from "inserted without eviction" — the engine's
+    /// fetch-residency filter needs that distinction and previously paid
+    /// a separate `contains` probe for it.
+    ///
+    /// The capacity eviction walks the lazy-deletion FIFO *after* the new
+    /// entry is admitted, which picks the identical victim: the new entry
+    /// sits at the FIFO back behind at least one older resident entry
+    /// (over-capacity guarantees one), and *stale* FIFO entries naming
+    /// the just-inserted block are skipped explicitly — the pre-insert
+    /// walk skipped them because the block was not yet in the index, and
+    /// consulting the index now would wrongly victimize the new entry
+    /// through them.
+    pub fn try_insert(&mut self, block: BlockAddr, tag: StreamTag) -> SvbInsert {
+        use std::collections::hash_map::Entry;
+        match self.index.entry(block) {
+            Entry::Occupied(_) => SvbInsert::AlreadyResident,
+            Entry::Vacant(slot) => {
+                slot.insert(tag);
+                self.per_tag[tag.0 as usize] += 1;
+                self.fifo.push_back((block, tag));
+                let mut evicted = None;
+                if self.index.len() > self.capacity {
+                    // Oldest entry still resident (lazy deletion: skip
+                    // stale).
+                    while let Some((b, t)) = self.fifo.pop_front() {
+                        if b == block {
+                            continue; // stale entry for the new block
+                        }
+                        if let Some(vt) = self.index.remove(&b) {
+                            self.per_tag[vt.0 as usize] -= 1;
+                            evicted = Some((b, t));
+                            break;
+                        }
+                    }
                 }
+                SvbInsert::Inserted(evicted)
             }
         }
-        self.index.insert(block, tag);
-        self.per_tag[tag.0 as usize] += 1;
-        self.fifo.push_back((block, tag));
-        evicted
     }
 
     /// Consumes `block` (prefetch hit), returning its stream tag.
@@ -171,6 +208,27 @@ mod tests {
         assert!(!s.contains(b(1)) && !s.contains(b(3)));
         assert!(s.contains(b(2)));
         assert_eq!(s.flush_tag(StreamTag(0)), 0, "already flushed");
+    }
+
+    /// `try_insert` must distinguish residency from admission, and its
+    /// post-insert eviction walk must skip a stale FIFO entry naming the
+    /// block being re-inserted (the pre-insert walk skipped it because
+    /// the block was absent from the index).
+    #[test]
+    fn try_insert_skips_own_stale_entry_in_eviction_walk() {
+        let mut s = Svb::new(2);
+        assert_eq!(s.try_insert(b(1), StreamTag(0)), SvbInsert::Inserted(None));
+        s.insert(b(2), StreamTag(1));
+        assert_eq!(s.try_insert(b(2), StreamTag(9)), SvbInsert::AlreadyResident);
+        s.take(b(1)); // stale FIFO entry for 1 remains at the front
+        s.insert(b(3), StreamTag(2)); // full again: [stale 1, 2, 3]
+                                      // Re-inserting 1 at capacity: the walk must pop its own stale
+                                      // entry without victimizing the fresh 1, and evict 2 instead.
+        assert_eq!(
+            s.try_insert(b(1), StreamTag(3)),
+            SvbInsert::Inserted(Some((b(2), StreamTag(1))))
+        );
+        assert!(s.contains(b(1)) && s.contains(b(3)) && !s.contains(b(2)));
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub use pht::{CounterPattern, Pht};
 use stems_types::{BlockOffset, Pc, RegionAddr, SpatialPattern};
 
 use crate::engine::{AccessEvent, EvictKind, PrefetchSink, Prefetcher, StreamTag};
-use crate::util::LruTable;
+use crate::util::{Entry, LruTable};
 use crate::PrefetchConfig;
 
 /// SVB tag used by the spatial component when SMS shares the streamed
@@ -139,20 +139,27 @@ impl Prefetcher for SmsPrefetcher {
     fn on_access(&mut self, ev: &AccessEvent, sink: &mut dyn PrefetchSink) {
         let region = ev.block.region();
         let offset = ev.block.offset_in_region();
-        if let Some(generation) = self.agt.get(&region) {
-            generation.observed.set(offset);
-            return;
-        }
-        // Trigger access: start a generation and predict.
-        self.triggers += 1;
-        let mut observed = SpatialPattern::empty();
-        observed.set(offset);
-        let generation = Generation {
-            trigger_pc: ev.pc,
-            trigger_offset: offset,
-            observed,
+        // Single-hash AGT access: every L1 access lands here, and one
+        // index probe covers both the in-generation update and the
+        // trigger insert.
+        let victim = match self.agt.entry(region) {
+            Entry::Occupied(mut generation) => {
+                generation.get_mut().observed.set(offset);
+                return;
+            }
+            Entry::Vacant(slot) => {
+                let mut observed = SpatialPattern::empty();
+                observed.set(offset);
+                slot.insert(Generation {
+                    trigger_pc: ev.pc,
+                    trigger_offset: offset,
+                    observed,
+                })
+            }
         };
-        if let Some((_, victim)) = self.agt.insert(region, generation) {
+        // Trigger access: a generation started and predicts below.
+        self.triggers += 1;
+        if let Some((_, victim)) = victim {
             // Capacity eviction ends the victim's generation; train on what
             // was accumulated so far (hardware would otherwise lose it).
             self.train(victim);

@@ -7,7 +7,7 @@
 
 use stems_types::{BlockOffset, SatCounter, SpatialPattern, REGION_BLOCKS};
 
-use crate::util::LruTable;
+use crate::util::{Entry, LruTable};
 
 /// Per-index learned pattern: one 2-bit counter per block of the region.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -89,11 +89,12 @@ impl Pht {
         if observed.is_empty() {
             return;
         }
-        match self.table.get(&index) {
-            Some(entry) => entry.train(observed),
-            None => {
-                self.table
-                    .insert(index, CounterPattern::from_observed(observed));
+        // Single-hash train: one index probe for both retrain and first
+        // insert (this runs on every completed generation).
+        match self.table.entry(index) {
+            Entry::Occupied(mut entry) => entry.get_mut().train(observed),
+            Entry::Vacant(entry) => {
+                entry.insert(CounterPattern::from_observed(observed));
             }
         }
     }

@@ -289,56 +289,63 @@ impl Prefetcher for StemsPrefetcher {
         if ev.satisfied.is_off_chip_class() {
             let pos = *miss_count;
             *miss_count += 1;
-            if let Some(generation) = agt.get(&region) {
-                if offset != generation.trigger_offset && !generation.seq.contains(offset) {
-                    let gap = (pos - generation.last_miss_pos).saturating_sub(1);
-                    generation.seq.push(offset, Delta::from_gap(gap as usize));
-                    generation.last_miss_pos = pos;
-                    if !generation.predicted_at_trigger.contains(offset) {
-                        // A spatial miss: the spatial predictor did not
-                        // cover it, so it belongs in the temporal sequence.
-                        Self::rmob_append(rmob, last_rmob_pos, block, ev.pc, pos);
+            // Single-hash AGT→PST handoff: one index probe covers both
+            // the in-generation update and the trigger insert (this runs
+            // on every off-chip-class miss).
+            match agt.entry(region) {
+                crate::util::Entry::Occupied(mut slot) => {
+                    let generation = slot.get_mut();
+                    if offset != generation.trigger_offset && !generation.seq.contains(offset) {
+                        let gap = (pos - generation.last_miss_pos).saturating_sub(1);
+                        generation.seq.push(offset, Delta::from_gap(gap as usize));
+                        generation.last_miss_pos = pos;
+                        if !generation.predicted_at_trigger.contains(offset) {
+                            // A spatial miss: the spatial predictor did not
+                            // cover it, so it belongs in the temporal sequence.
+                            Self::rmob_append(rmob, last_rmob_pos, block, ev.pc, pos);
+                        }
                     }
                 }
-            } else {
-                // Trigger: a new spatial generation begins.
-                let index = spatial_index(ev.pc, offset);
-                let predicted_at_trigger = pst
-                    .lookup(index)
-                    .map(|s| s.predicted_pattern())
-                    .unwrap_or_else(SpatialPattern::empty);
-                let generation = ActiveGeneration {
-                    trigger_pc: ev.pc,
-                    trigger_offset: offset,
-                    // Recycled buffer: generation churn allocates nothing
-                    // in steady state.
-                    seq: seq_arena.take(),
-                    last_miss_pos: pos,
-                    predicted_at_trigger,
-                };
-                if let Some((_, victim)) = agt.insert(region, generation) {
-                    Self::train_generation(pst, seq_arena, victim);
-                }
-                Self::rmob_append(rmob, last_rmob_pos, block, ev.pc, pos);
-                // Spatial-only stream (Section 4.2): if reconstruction did
-                // not already predict this region with this index, stream
-                // the PST sequence directly, ignoring deltas.
-                let recon_index = recon_predicted.get(&region).copied();
-                if *spatial_only_enabled
-                    && recon_index != Some(index)
-                    && !predicted_at_trigger.is_empty()
-                {
-                    if let Some(seq) = pst.peek(index) {
-                        let mut addrs = recon_pool.take_deque();
-                        addrs.extend(
-                            seq.predicted()
-                                .filter(|e| e.offset != offset)
-                                .map(|e| region.block_at(e.offset)),
-                        );
-                        if addrs.is_empty() {
-                            recon_pool.put_deque(addrs);
-                        } else {
-                            spatial_only = Some(addrs);
+                crate::util::Entry::Vacant(slot) => {
+                    // Trigger: a new spatial generation begins.
+                    let index = spatial_index(ev.pc, offset);
+                    let predicted_at_trigger = pst
+                        .lookup(index)
+                        .map(|s| s.predicted_pattern())
+                        .unwrap_or_else(SpatialPattern::empty);
+                    let generation = ActiveGeneration {
+                        trigger_pc: ev.pc,
+                        trigger_offset: offset,
+                        // Recycled buffer: generation churn allocates nothing
+                        // in steady state.
+                        seq: seq_arena.take(),
+                        last_miss_pos: pos,
+                        predicted_at_trigger,
+                    };
+                    if let Some((_, victim)) = slot.insert(generation) {
+                        Self::train_generation(pst, seq_arena, victim);
+                    }
+                    Self::rmob_append(rmob, last_rmob_pos, block, ev.pc, pos);
+                    // Spatial-only stream (Section 4.2): if reconstruction
+                    // did not already predict this region with this index,
+                    // stream the PST sequence directly, ignoring deltas.
+                    let recon_index = recon_predicted.get(&region).copied();
+                    if *spatial_only_enabled
+                        && recon_index != Some(index)
+                        && !predicted_at_trigger.is_empty()
+                    {
+                        if let Some(seq) = pst.peek(index) {
+                            let mut addrs = recon_pool.take_deque();
+                            addrs.extend(
+                                seq.predicted()
+                                    .filter(|e| e.offset != offset)
+                                    .map(|e| region.block_at(e.offset)),
+                            );
+                            if addrs.is_empty() {
+                                recon_pool.put_deque(addrs);
+                            } else {
+                                spatial_only = Some(addrs);
+                            }
                         }
                     }
                 }

@@ -9,7 +9,7 @@
 
 use stems_types::{SequenceArena, SpatialSequence};
 
-use crate::util::LruTable;
+use crate::util::{Entry, LruTable};
 
 /// The bounded PST.
 #[derive(Clone, Debug)]
@@ -27,7 +27,9 @@ impl Pst {
         }
     }
 
-    /// The stored sequence for `index`, refreshing recency.
+    /// The stored sequence for `index`, refreshing recency. Inlined into
+    /// the reconstruction expansion loop (its hottest caller).
+    #[inline]
     pub fn lookup(&mut self, index: u64) -> Option<&SpatialSequence> {
         self.table.get(&index).map(|s| &*s)
     }
@@ -44,10 +46,10 @@ impl Pst {
             return;
         }
         self.trainings += 1;
-        match self.table.get(&index) {
-            Some(stored) => stored.retrain(observed),
-            None => {
-                self.table.insert(index, observed.clone());
+        match self.table.entry(index) {
+            Entry::Occupied(mut stored) => stored.get_mut().retrain(observed),
+            Entry::Vacant(slot) => {
+                slot.insert(observed.clone());
             }
         }
     }
@@ -69,13 +71,16 @@ impl Pst {
             return;
         }
         self.trainings += 1;
-        match self.table.get(&index) {
-            Some(stored) => {
-                stored.retrain_in(&observed, arena);
+        // Single-hash train: the AGT→PST handoff runs on every retired
+        // generation, and the common retrain case now probes the index
+        // exactly once.
+        match self.table.entry(index) {
+            Entry::Occupied(mut stored) => {
+                stored.get_mut().retrain_in(&observed, arena);
                 arena.put(observed);
             }
-            None => {
-                if let Some((_, victim)) = self.table.insert(index, observed) {
+            Entry::Vacant(slot) => {
+                if let Some((_, victim)) = slot.insert(observed) {
                     arena.put(victim);
                 }
             }

@@ -95,12 +95,32 @@ impl ReconStats {
 }
 
 /// An in-progress reconstruction: one per active reconstructed stream.
+///
+/// The sliding window is a flat power-of-two ring of predicted blocks
+/// carrying a `u64`-word occupancy bitmap: exact/±`search` placement is a
+/// bounds check plus a mask-and-shift bit test per candidate (the old
+/// `VecDeque<Option<_>>` window paid lazy `push_back(None)` materialization
+/// and a bounds-checked deque index per probe), and draining walks set
+/// bits a word at a time instead of popping empty slots one by one.
+/// Behavior is pinned exactly — placement slots, [`ReconStats`], and drain
+/// order — against the retained deque implementation
+/// ([`oracle::DequeReconstructor`]) by differential tests below and the
+/// property suite in `tests/recon_differential.rs`.
 #[derive(Clone, Debug)]
 pub struct Reconstructor {
-    /// Sliding window of predicted slots; `slots[0]` is absolute `base`.
-    slots: VecDeque<Option<BlockAddr>>,
+    /// Predicted block per physical ring slot; validity is governed by
+    /// `occupancy` (a stale value under a clear bit is never read).
+    slots: Vec<BlockAddr>,
+    /// One bit per physical slot: set = slot holds a prediction.
+    occupancy: Vec<u64>,
+    /// `slots.len() - 1`; absolute slot & mask = physical slot.
+    slot_mask: u64,
     /// Absolute slot index of the window front.
     base: u64,
+    /// Absolute end of the materialized prefix: slots in
+    /// `[base, materialized)` exist (occupied or empty); beyond it the
+    /// window has never been touched. Mirrors the deque's length.
+    materialized: u64,
     /// Absolute slot of the most recently placed RMOB trigger.
     horizon: u64,
     /// Next RMOB position to expand.
@@ -113,27 +133,34 @@ pub struct Reconstructor {
     primed: bool,
     /// Whether the temporal history has run out (stream end).
     exhausted: bool,
-    /// Scratch for one RMOB entry's predicted spatial sequence, reused
-    /// across expansions to keep the refill path allocation-free.
-    predicted_scratch: Vec<(u8, u8)>,
     /// Placement statistics for this reconstruction.
     pub stats: ReconStats,
+}
+
+/// Physical ring size for a logical window capacity: the next power of
+/// two, at least one occupancy word wide so the bitmap walk never
+/// special-cases a partial word.
+fn ring_size(capacity: usize) -> usize {
+    capacity.next_power_of_two().max(64)
 }
 
 impl Reconstructor {
     /// Starts a reconstruction whose initiating miss matched the RMOB at
     /// `rmob_pos`.
     pub fn new(rmob_pos: u64, capacity: usize, search: usize) -> Self {
+        let physical = ring_size(capacity);
         Reconstructor {
-            slots: VecDeque::with_capacity(capacity.min(256)),
+            slots: vec![BlockAddr::new(0); physical],
+            occupancy: vec![0; physical / 64],
+            slot_mask: physical as u64 - 1,
             base: 0,
+            materialized: 0,
             horizon: 0,
             next_rmob: rmob_pos,
             capacity,
             search,
             primed: false,
             exhausted: false,
-            predicted_scratch: Vec::new(),
             stats: ReconStats::default(),
         }
     }
@@ -142,43 +169,58 @@ impl Reconstructor {
     /// [`Reconstructor::new`] would produce, keeping the window and
     /// PST-expansion scratch allocations.
     pub fn reset(&mut self, rmob_pos: u64, capacity: usize, search: usize) {
-        self.slots.clear();
+        let physical = ring_size(capacity);
+        if physical != self.slots.len() {
+            self.slots = vec![BlockAddr::new(0); physical];
+            self.occupancy = vec![0; physical / 64];
+            self.slot_mask = physical as u64 - 1;
+        } else {
+            self.occupancy.fill(0);
+        }
         self.base = 0;
+        self.materialized = 0;
         self.horizon = 0;
         self.next_rmob = rmob_pos;
         self.capacity = capacity;
         self.search = search;
         self.primed = false;
         self.exhausted = false;
-        self.predicted_scratch.clear();
         self.stats = ReconStats::default();
     }
 
-    fn slot_at(&mut self, abs: u64) -> Option<&mut Option<BlockAddr>> {
-        if abs < self.base {
-            return None; // already drained past
+    #[inline]
+    fn is_occupied(&self, abs: u64) -> bool {
+        let s = abs & self.slot_mask;
+        self.occupancy[(s >> 6) as usize] & (1u64 << (s & 63)) != 0
+    }
+
+    /// Marks `abs` occupied with `block`, extending the materialized
+    /// prefix (the deque's lazy `push_back(None)` growth collapses to a
+    /// cursor bump: intermediate slots are empty by bitmap invariant).
+    #[inline]
+    fn set_slot(&mut self, abs: u64, block: BlockAddr) {
+        let s = abs & self.slot_mask;
+        self.occupancy[(s >> 6) as usize] |= 1u64 << (s & 63);
+        self.slots[s as usize] = block;
+        if abs >= self.materialized {
+            self.materialized = abs + 1;
         }
-        let rel = (abs - self.base) as usize;
-        if rel >= self.capacity {
-            return None; // beyond the window
-        }
-        while self.slots.len() <= rel {
-            self.slots.push_back(None);
-        }
-        Some(&mut self.slots[rel])
     }
 
     /// Places `block` as close to absolute slot `abs` as the search
     /// distance allows; records stats. Returns the slot used, if any.
+    /// Inlined into the expansion loop so the window bounds stay in
+    /// registers across the candidate probes.
+    #[inline]
     fn place(&mut self, abs: u64, block: BlockAddr) -> Option<u64> {
         if abs >= self.base + self.capacity as u64 {
             self.stats.dropped_window += 1;
             return None;
         }
         // Try exact, then +-1, then +-2 (forward first: a later slot only
-        // delays the prefetch, an earlier one reorders it). Candidate
-        // order is materialized inline rather than via an allocated list:
-        // this runs for every placed address.
+        // delays the prefetch, an earlier one reorders it). Each probe is
+        // a window-bounds check plus one occupancy bit test: this runs
+        // for every placed address.
         if self.try_place(abs, block) {
             self.stats.exact += 1;
             return Some(abs);
@@ -197,14 +239,18 @@ impl Reconstructor {
         None
     }
 
+    #[inline]
     fn try_place(&mut self, candidate: u64, block: BlockAddr) -> bool {
-        match self.slot_at(candidate) {
-            Some(slot @ None) => {
-                *slot = Some(block);
-                true
-            }
-            _ => false,
+        // Candidates drained past (< base) or beyond the window read as
+        // unplaceable, exactly as the deque's `slot_at` refused them.
+        if candidate < self.base
+            || candidate - self.base >= self.capacity as u64
+            || self.is_occupied(candidate)
+        {
+            return false;
         }
+        self.set_slot(candidate, block);
+        true
     }
 
     fn bump_shifted(&mut self, dist: u64) {
@@ -213,6 +259,24 @@ impl Reconstructor {
         } else {
             self.stats.shifted2 += 1;
         }
+    }
+
+    /// First occupied absolute slot in `[from, limit)`, walking the
+    /// occupancy words. `limit - from` never exceeds the window capacity,
+    /// so the scan touches each physical word at most once.
+    fn next_occupied(&self, from: u64, limit: u64) -> Option<u64> {
+        let mut abs = from;
+        while abs < limit {
+            let s = abs & self.slot_mask;
+            let bit = s & 63;
+            let word = self.occupancy[(s >> 6) as usize] >> bit;
+            if word != 0 {
+                let cand = abs + word.trailing_zeros() as u64;
+                return (cand < limit).then_some(cand);
+            }
+            abs += 64 - bit; // next word boundary
+        }
+        None
     }
 
     /// Expands one RMOB entry into the window: places its trigger address
@@ -235,8 +299,8 @@ impl Reconstructor {
             self.primed = true;
             // The initiating miss occupies slot 0; it was demand-fetched,
             // and the residency filter will refuse a refetch when drained.
-            if let Some(slot) = self.slot_at(0) {
-                *slot = Some(entry.block);
+            if self.base == 0 && self.capacity > 0 {
+                self.set_slot(0, entry.block);
             }
             Some(0)
         } else {
@@ -255,21 +319,23 @@ impl Reconstructor {
         };
         let region = entry.block.region();
         let index = spatial_index(entry.pc, entry.block.offset_in_region());
-        self.predicted_scratch.clear();
+        // Place directly from the PST sequence iterator: the sequence
+        // borrows `pst` while placement mutates `self`, so no staging
+        // buffer is needed — the old per-expansion scratch paid a clear,
+        // a push per element, and a second walk. Callback timing is
+        // preserved: `predicted_region` fires before the first placement,
+        // and only when the sequence predicts at least one element.
         if let Some(seq) = pst.lookup(index) {
-            self.predicted_scratch
-                .extend(seq.predicted().map(|e| (e.offset.get(), e.delta.get())));
-        }
-        if !self.predicted_scratch.is_empty() {
-            predicted_region(region, index);
-            let mut prev = anchor;
-            for i in 0..self.predicted_scratch.len() {
-                let (offset, delta) = self.predicted_scratch[i];
-                let target = prev + delta as u64 + 1;
-                let off = stems_types::BlockOffset::new(offset);
-                match self.place(target, region.block_at(off)) {
-                    Some(slot) => prev = slot,
-                    None => prev = target.min(self.base + self.capacity as u64 - 1),
+            let mut predicted = seq.predicted();
+            if let Some(first) = predicted.next() {
+                predicted_region(region, index);
+                let mut prev = anchor;
+                for e in std::iter::once(first).chain(predicted) {
+                    let target = prev + e.delta.get() as u64 + 1;
+                    match self.place(target, region.block_at(e.offset)) {
+                        Some(slot) => prev = slot,
+                        None => prev = target.min(self.base + self.capacity as u64 - 1),
+                    }
                 }
             }
         }
@@ -318,22 +384,62 @@ impl Reconstructor {
                 }
                 continue;
             }
-            match self.slots.pop_front() {
-                Some(opt) => {
+            if self.base < self.materialized {
+                if self.is_occupied(self.base) {
+                    // Emit the front slot and clear its bit so the
+                    // physical slot is clean when the ring wraps back.
+                    let s = (self.base & self.slot_mask) as usize;
+                    self.occupancy[s >> 6] &= !(1u64 << (s & 63));
+                    out.push_back(self.slots[s]);
+                    appended += 1;
                     self.base += 1;
-                    if let Some(block) = opt {
-                        out.push_back(block);
-                        appended += 1;
-                    }
+                } else {
+                    // Drain walks set bits: empty slots emit nothing, so
+                    // skip straight to the next occupied slot — bounded
+                    // by the materialized prefix and, while expansion can
+                    // still run, by the frontier up to which the deque
+                    // loop would have popped empties one at a time
+                    // without re-triggering expansion (popping at slot b
+                    // requires `horizon >= b + 2*search + 1`).
+                    let limit = if self.exhausted {
+                        self.materialized
+                    } else {
+                        self.materialized
+                            .min(self.horizon.saturating_sub(2 * self.search as u64))
+                    };
+                    self.base = self.next_occupied(self.base, limit).unwrap_or(limit);
                 }
-                None => {
-                    if self.exhausted || !self.expand_one(rmob, pst, &mut predicted_region) {
-                        break;
-                    }
-                }
+            } else if self.exhausted || !self.expand_one(rmob, pst, &mut predicted_region) {
+                break;
             }
         }
         appended
+    }
+
+    /// The window contents as the deque implementation would store them
+    /// (`[base, materialized)`, `None` = empty slot). Diagnostics for the
+    /// differential suites; not part of the reconstruction API.
+    #[doc(hidden)]
+    pub fn window_snapshot(&self) -> Vec<Option<BlockAddr>> {
+        (self.base..self.materialized)
+            .map(|abs| {
+                self.is_occupied(abs)
+                    .then(|| self.slots[(abs & self.slot_mask) as usize])
+            })
+            .collect()
+    }
+
+    /// `(base, horizon, next_rmob, primed, exhausted)` for the
+    /// differential suites.
+    #[doc(hidden)]
+    pub fn cursor_state(&self) -> (u64, u64, u64, bool, bool) {
+        (
+            self.base,
+            self.horizon,
+            self.next_rmob,
+            self.primed,
+            self.exhausted,
+        )
     }
 }
 
@@ -406,6 +512,214 @@ impl ReconPool {
     /// Spare allocations currently pooled (diagnostics).
     pub fn spares(&self) -> (usize, usize) {
         (self.recons.len(), self.deques.len())
+    }
+}
+
+/// The pre-bitmap reconstruction window, retained verbatim as a
+/// differential oracle: a `VecDeque<Option<BlockAddr>>` window with lazy
+/// `push_back(None)` materialization and per-slot probing. The unit and
+/// property differential suites (and the `recon_placement` microbench in
+/// `crates/bench`) drive identical RMOB/PST streams through this and the
+/// bitmap ring and require placement slots, [`ReconStats`], window
+/// contents, and drain order to match exactly. Not part of the public
+/// API; hidden rather than `#[cfg(test)]` only so the benchmark crate can
+/// measure it.
+#[doc(hidden)]
+pub mod oracle {
+    use super::*;
+
+    /// See [the module docs](self): the retained deque-window
+    /// reconstruction engine, mirroring [`Reconstructor`]'s API.
+    #[derive(Clone, Debug)]
+    pub struct DequeReconstructor {
+        slots: VecDeque<Option<BlockAddr>>,
+        base: u64,
+        horizon: u64,
+        next_rmob: u64,
+        capacity: usize,
+        search: usize,
+        primed: bool,
+        exhausted: bool,
+        predicted_scratch: Vec<(u8, u8)>,
+        /// Placement statistics for this reconstruction.
+        pub stats: ReconStats,
+    }
+
+    impl DequeReconstructor {
+        /// Mirrors [`Reconstructor::new`].
+        pub fn new(rmob_pos: u64, capacity: usize, search: usize) -> Self {
+            DequeReconstructor {
+                slots: VecDeque::with_capacity(capacity.min(256)),
+                base: 0,
+                horizon: 0,
+                next_rmob: rmob_pos,
+                capacity,
+                search,
+                primed: false,
+                exhausted: false,
+                predicted_scratch: Vec::new(),
+                stats: ReconStats::default(),
+            }
+        }
+
+        fn slot_at(&mut self, abs: u64) -> Option<&mut Option<BlockAddr>> {
+            if abs < self.base {
+                return None; // already drained past
+            }
+            let rel = (abs - self.base) as usize;
+            if rel >= self.capacity {
+                return None; // beyond the window
+            }
+            while self.slots.len() <= rel {
+                self.slots.push_back(None);
+            }
+            Some(&mut self.slots[rel])
+        }
+
+        fn place(&mut self, abs: u64, block: BlockAddr) -> Option<u64> {
+            if abs >= self.base + self.capacity as u64 {
+                self.stats.dropped_window += 1;
+                return None;
+            }
+            if self.try_place(abs, block) {
+                self.stats.exact += 1;
+                return Some(abs);
+            }
+            for d in 1..=self.search as u64 {
+                if self.try_place(abs + d, block) {
+                    self.bump_shifted(d);
+                    return Some(abs + d);
+                }
+                if abs >= self.base + d && self.try_place(abs - d, block) {
+                    self.bump_shifted(d);
+                    return Some(abs - d);
+                }
+            }
+            self.stats.dropped_conflict += 1;
+            None
+        }
+
+        fn try_place(&mut self, candidate: u64, block: BlockAddr) -> bool {
+            match self.slot_at(candidate) {
+                Some(slot @ None) => {
+                    *slot = Some(block);
+                    true
+                }
+                _ => false,
+            }
+        }
+
+        fn bump_shifted(&mut self, dist: u64) {
+            if dist == 1 {
+                self.stats.shifted1 += 1;
+            } else {
+                self.stats.shifted2 += 1;
+            }
+        }
+
+        /// Mirrors [`Reconstructor::expand_one`].
+        pub fn expand_one(
+            &mut self,
+            rmob: &OrderBuffer<RmobEntry>,
+            pst: &mut Pst,
+            mut predicted_region: impl FnMut(stems_types::RegionAddr, u64),
+        ) -> bool {
+            let Some(entry) = rmob.get(self.next_rmob).copied() else {
+                return false;
+            };
+            let trigger_slot = if !self.primed {
+                self.primed = true;
+                if let Some(slot) = self.slot_at(0) {
+                    *slot = Some(entry.block);
+                }
+                Some(0)
+            } else {
+                let target = self.horizon + entry.delta.get() as u64 + 1;
+                if target >= self.base + self.capacity as u64 {
+                    return false;
+                }
+                self.horizon = target;
+                self.place(target, entry.block)
+            };
+            let anchor = match trigger_slot {
+                Some(s) => s,
+                None => self.horizon,
+            };
+            let region = entry.block.region();
+            let index = spatial_index(entry.pc, entry.block.offset_in_region());
+            self.predicted_scratch.clear();
+            if let Some(seq) = pst.lookup(index) {
+                self.predicted_scratch
+                    .extend(seq.predicted().map(|e| (e.offset.get(), e.delta.get())));
+            }
+            if !self.predicted_scratch.is_empty() {
+                predicted_region(region, index);
+                let mut prev = anchor;
+                for i in 0..self.predicted_scratch.len() {
+                    let (offset, delta) = self.predicted_scratch[i];
+                    let target = prev + delta as u64 + 1;
+                    let off = stems_types::BlockOffset::new(offset);
+                    match self.place(target, region.block_at(off)) {
+                        Some(slot) => prev = slot,
+                        None => prev = target.min(self.base + self.capacity as u64 - 1),
+                    }
+                }
+            }
+            self.next_rmob += 1;
+            true
+        }
+
+        /// Mirrors [`Reconstructor::produce_into`].
+        pub fn produce_into(
+            &mut self,
+            n: usize,
+            rmob: &OrderBuffer<RmobEntry>,
+            pst: &mut Pst,
+            mut predicted_region: impl FnMut(stems_types::RegionAddr, u64),
+            out: &mut VecDeque<BlockAddr>,
+        ) -> usize {
+            let mut appended = 0;
+            while appended < n {
+                let safe_frontier = self.base + 2 * self.search as u64 + 1;
+                if !self.exhausted && self.horizon < safe_frontier {
+                    if !self.expand_one(rmob, pst, &mut predicted_region) {
+                        self.exhausted = true;
+                    }
+                    continue;
+                }
+                match self.slots.pop_front() {
+                    Some(opt) => {
+                        self.base += 1;
+                        if let Some(block) = opt {
+                            out.push_back(block);
+                            appended += 1;
+                        }
+                    }
+                    None => {
+                        if self.exhausted || !self.expand_one(rmob, pst, &mut predicted_region) {
+                            break;
+                        }
+                    }
+                }
+            }
+            appended
+        }
+
+        /// Mirrors [`Reconstructor::window_snapshot`].
+        pub fn window_snapshot(&self) -> Vec<Option<BlockAddr>> {
+            self.slots.iter().copied().collect()
+        }
+
+        /// Mirrors [`Reconstructor::cursor_state`].
+        pub fn cursor_state(&self) -> (u64, u64, u64, bool, bool) {
+            (
+                self.base,
+                self.horizon,
+                self.next_rmob,
+                self.primed,
+                self.exhausted,
+            )
+        }
     }
 }
 
@@ -545,6 +859,119 @@ mod tests {
         let mut r = Reconstructor::new(0, 64, 2);
         r.produce(4, &rmob, &mut pst, |region, i| seen.push((region, i)));
         assert_eq!(seen, vec![(RegionAddr::new(0xA), idx)]);
+    }
+
+    /// Drives random RMOB/PST streams through the bitmap ring and the
+    /// retained deque oracle in lockstep: window contents, cursor state,
+    /// ReconStats, and drain order must match exactly after every
+    /// expansion and every drain chunk.
+    #[test]
+    fn bitmap_ring_matches_deque_oracle_under_random_streams() {
+        use crate::util::XorShift64;
+        use oracle::DequeReconstructor;
+
+        for seed in 0..24u64 {
+            let mut rng = XorShift64::new(0x2ECC ^ seed);
+            let search = (seed % 5) as usize; // search distances 0..=4
+            let capacity = [2usize, 7, 64, 256][(seed % 4) as usize];
+            // Random temporal skeleton over a few regions with clustered
+            // PCs so PST lookups fire often.
+            let mut rmob: OrderBuffer<RmobEntry> = OrderBuffer::new(512);
+            for _ in 0..200 {
+                rmob.append(entry(
+                    rng.below(24),
+                    rng.below(32) as u8,
+                    1 + rng.below(6),
+                    rng.below(5) as u8,
+                ));
+            }
+            // Random spatial sequences, trained twice so elements predict.
+            let mut pst_new = Pst::new(32);
+            let mut pst_old = Pst::new(32);
+            for _ in 0..40 {
+                let pc = 1 + rng.below(6);
+                let off = rng.below(32) as u8;
+                let len = 1 + rng.below(4) as usize;
+                let s: Vec<(u8, u8)> = (0..len)
+                    .map(|_| (rng.below(32) as u8, rng.below(4) as u8))
+                    .collect();
+                for _ in 0..2 {
+                    pst_new.train(spatial_index(Pc::new(pc), BlockOffset::new(off)), &seq(&s));
+                    pst_old.train(spatial_index(Pc::new(pc), BlockOffset::new(off)), &seq(&s));
+                }
+            }
+            let start = rng.below(64);
+            let mut ring = Reconstructor::new(start, capacity, search);
+            let mut deque = DequeReconstructor::new(start, capacity, search);
+            let mut ring_out = std::collections::VecDeque::new();
+            let mut deque_out = std::collections::VecDeque::new();
+            let mut ring_regions = Vec::new();
+            let mut deque_regions = Vec::new();
+            for round in 0..120u32 {
+                let n = 1 + rng.below(7) as usize;
+                let a = ring.produce_into(
+                    n,
+                    &rmob,
+                    &mut pst_new,
+                    |r, i| ring_regions.push((r, i)),
+                    &mut ring_out,
+                );
+                let b = deque.produce_into(
+                    n,
+                    &rmob,
+                    &mut pst_old,
+                    |r, i| deque_regions.push((r, i)),
+                    &mut deque_out,
+                );
+                let ctx = format!("seed {seed} round {round} (cap {capacity} search {search})");
+                assert_eq!(a, b, "appended count diverged: {ctx}");
+                assert_eq!(ring_out, deque_out, "drain order diverged: {ctx}");
+                assert_eq!(ring.stats, deque.stats, "stats diverged: {ctx}");
+                assert_eq!(
+                    ring.cursor_state(),
+                    deque.cursor_state(),
+                    "cursor state diverged: {ctx}"
+                );
+                assert_eq!(
+                    ring.window_snapshot(),
+                    deque.window_snapshot(),
+                    "window contents (placement slots) diverged: {ctx}"
+                );
+                if a == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A recycled (reset) bitmap reconstructor must behave exactly like a
+    /// fresh one — stale occupancy bits from the previous stream must not
+    /// leak into placements, including across capacity changes.
+    #[test]
+    fn reset_clears_occupancy_exactly() {
+        let mut rmob: OrderBuffer<RmobEntry> = OrderBuffer::new(64);
+        for i in 0..24 {
+            rmob.append(entry(i, (i % 32) as u8, 100 + i, (i % 3) as u8));
+        }
+        let mut pst = Pst::new(8);
+        let mut recycled = Reconstructor::new(0, 64, 2);
+        // Leave the window mid-reconstruction with occupied slots.
+        recycled.produce_into(5, &rmob, &mut pst, |_, _| {}, &mut VecDeque::new());
+        for (cap, search) in [(64usize, 2usize), (16, 1), (256, 4)] {
+            recycled.reset(3, cap, search);
+            let mut fresh = Reconstructor::new(3, cap, search);
+            let mut a = VecDeque::new();
+            let mut b = VecDeque::new();
+            recycled.produce_into(32, &rmob, &mut pst, |_, _| {}, &mut a);
+            fresh.produce_into(32, &rmob, &mut pst, |_, _| {}, &mut b);
+            assert_eq!(a, b, "cap {cap} search {search}");
+            assert_eq!(recycled.stats, fresh.stats, "cap {cap} search {search}");
+            assert_eq!(
+                recycled.window_snapshot(),
+                fresh.window_snapshot(),
+                "cap {cap} search {search}"
+            );
+        }
     }
 
     #[test]

@@ -81,10 +81,14 @@ impl Membership {
         self.bits = 0;
     }
 
-    /// Whether `block` may be among the summarized pending entries. A
-    /// `false` return is definitive.
-    fn maybe_contains(&self, block: BlockAddr) -> bool {
-        self.bits & (1 << Self::bucket(block)) != 0
+    /// The one-bit test mask for `block`'s bucket: `bits & mask != 0`
+    /// means the block *may* be among the summarized pending entries, a
+    /// zero result is definitive absence. The hash-and-shift is a
+    /// function of the block alone, so a caller testing the same block
+    /// against several queues' summaries ([`StreamQueues::catch_up`])
+    /// computes it once and tests one AND per queue.
+    fn bucket_mask(block: BlockAddr) -> u64 {
+        1 << Self::bucket(block)
     }
 }
 
@@ -283,11 +287,21 @@ impl<S> StreamQueues<S> {
         sink: &mut dyn PrefetchSink,
         refill: RefillFn<'_, S>,
     ) -> Option<StreamTag> {
+        // Cost model: this runs on every off-chip miss from TMS and
+        // STeMS, over Q queues (8 at paper scale). The filter mask below
+        // is a function of the block alone — loop-invariant across the
+        // queues — so the hash-and-shift is hoisted out and each queue
+        // pays one AND-test word load. Only queues whose summary admits
+        // the block (hash collisions included) fall through to the
+        // bounded SEARCH_DEPTH-entry scan, so the expected per-miss cost
+        // is Q bit tests plus at most a handful of short slice scans,
+        // never Q full scans.
+        let mask = Membership::bucket_mask(block);
         let mut found = None;
         for (i, q) in self.queues.iter().enumerate() {
             // One-word reject: most queues provably do not hold the block,
             // so the bounded scan below runs only on candidate queues.
-            if !q.filter.maybe_contains(block) {
+            if q.filter.bits & mask == 0 {
                 continue;
             }
             if let Some(k) = Self::scan_pending(&q.pending, block) {

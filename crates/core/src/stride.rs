@@ -10,7 +10,7 @@
 use stems_types::{BlockAddr, Pc, SatCounter};
 
 use crate::engine::{AccessEvent, PrefetchSink, Prefetcher, StreamTag};
-use crate::util::LruTable;
+use crate::util::{Entry, LruTable};
 use crate::PrefetchConfig;
 
 /// SVB tag reserved for stride prefetches (there are no stride streams to
@@ -69,8 +69,11 @@ impl Prefetcher for StridePrefetcher {
             return;
         }
         let block = ev.block;
-        match self.table.get(&ev.pc) {
-            Some(entry) => {
+        // Single-hash access: one index probe covers both the learned-PC
+        // update and the cold-PC insert.
+        match self.table.entry(ev.pc) {
+            Entry::Occupied(occupied) => {
+                let entry = occupied.into_mut();
                 let observed = block.get() as i64 - entry.last.get() as i64;
                 if observed == 0 {
                     // Same block re-touched; no stride information.
@@ -92,15 +95,12 @@ impl Prefetcher for StridePrefetcher {
                     }
                 }
             }
-            None => {
-                self.table.insert(
-                    ev.pc,
-                    StrideEntry {
-                        last: block,
-                        stride: 0,
-                        confidence: SatCounter::new(0),
-                    },
-                );
+            Entry::Vacant(vacant) => {
+                vacant.insert(StrideEntry {
+                    last: block,
+                    stride: 0,
+                    confidence: SatCounter::new(0),
+                });
             }
         }
     }

@@ -13,14 +13,23 @@ use std::hash::Hash;
 
 use stems_types::{fx_map_with_capacity, FxHashMap};
 
-const NIL: usize = usize::MAX;
+const NIL: u32 = u32::MAX;
 
+/// Key/value storage; recency links live in the parallel dense `links`
+/// array so a recency splice never pulls a value's cache lines.
 #[derive(Clone, Debug)]
 struct Slot<K, V> {
     key: K,
     value: V,
-    prev: usize,
-    next: usize,
+}
+
+/// Intrusive recency-list node for one slot: 8 bytes, packed densely so
+/// the up-to-five writes of an unlink/push-front splice land in one or
+/// two cache lines regardless of how fat the values are.
+#[derive(Clone, Copy, Debug)]
+struct Link {
+    prev: u32,
+    next: u32,
 }
 
 /// A bounded map that evicts its least-recently-used entry on overflow.
@@ -40,10 +49,11 @@ struct Slot<K, V> {
 #[derive(Clone, Debug)]
 pub struct LruTable<K, V> {
     slots: Vec<Slot<K, V>>,
-    index: FxHashMap<K, usize>,
-    free: Vec<usize>,
-    head: usize, // MRU
-    tail: usize, // LRU
+    links: Vec<Link>,
+    index: FxHashMap<K, u32>,
+    free: Vec<u32>,
+    head: u32, // MRU
+    tail: u32, // LRU
     capacity: usize,
 }
 
@@ -55,8 +65,26 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LruTable capacity must be nonzero");
+        assert!(
+            capacity < NIL as usize,
+            "capacity exceeds the u32 slot range"
+        );
+        // The index reservation is clamped: pre-sizing to full capacity
+        // was tried (PR 5) and measured a net loss — a 16K-entry PST
+        // index eagerly allocates ~0.4MB per session, and most sessions
+        // never fill it, while the growth it avoids is at most
+        // log2(capacity/4096) one-time rehashes during warm-up. What
+        // steady state requires — and the regression test below pins —
+        // is zero reallocation under churn: once the table reaches
+        // capacity, eviction keeps occupancy constant, so the index
+        // never grows again. The slot and link vectors are deliberately
+        // lazy for the same reason (values can be fat — a 16K
+        // `SpatialSequence` table would reserve hundreds of KB): their
+        // warm-up growth is amortized POD memcpy, and they too stop
+        // growing once `slots.len()` reaches capacity.
         LruTable {
-            slots: Vec::with_capacity(capacity.min(4096)),
+            slots: Vec::new(),
+            links: Vec::new(),
             index: fx_map_with_capacity(capacity.min(4096)),
             free: Vec::new(),
             head: NIL,
@@ -80,25 +108,27 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
         self.capacity
     }
 
-    fn unlink(&mut self, i: usize) {
-        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+    fn unlink(&mut self, i: u32) {
+        let Link { prev, next } = self.links[i as usize];
         if prev != NIL {
-            self.slots[prev].next = next;
+            self.links[prev as usize].next = next;
         } else {
             self.head = next;
         }
         if next != NIL {
-            self.slots[next].prev = prev;
+            self.links[next as usize].prev = prev;
         } else {
             self.tail = prev;
         }
     }
 
-    fn push_front(&mut self, i: usize) {
-        self.slots[i].prev = NIL;
-        self.slots[i].next = self.head;
+    fn push_front(&mut self, i: u32) {
+        self.links[i as usize] = Link {
+            prev: NIL,
+            next: self.head,
+        };
         if self.head != NIL {
-            self.slots[self.head].prev = i;
+            self.links[self.head as usize].prev = i;
         }
         self.head = i;
         if self.tail == NIL {
@@ -113,12 +143,106 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
             self.unlink(i);
             self.push_front(i);
         }
-        Some(&mut self.slots[i].value)
+        Some(&mut self.slots[i as usize].value)
     }
 
     /// Looks up `key` without changing recency.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.index.get(key).map(|&i| &self.slots[i].value)
+        self.index.get(key).map(|&i| &self.slots[i as usize].value)
+    }
+
+    /// Single-hash slot view for `key`: the index is probed exactly once,
+    /// and the returned [`Entry`] either holds the resident slot (already
+    /// refreshed to most-recently-used, as [`LruTable::get`] would) or
+    /// the right to insert under `key` without re-probing on the hit
+    /// path.
+    ///
+    /// Every get-then-insert call site (PHT/PST training, the AGT
+    /// generation handoff, stride-table updates) hashes twice per miss
+    /// and once per hit through the classic API; `entry` makes the hit
+    /// path — the steady-state common case — a single hash, and the miss
+    /// path one fewer.
+    pub fn entry(&mut self, key: K) -> Entry<'_, K, V> {
+        match self.index.get(&key) {
+            Some(&i) => {
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Entry::Occupied(OccupiedEntry { table: self, at: i })
+            }
+            None => Entry::Vacant(VacantEntry { table: self, key }),
+        }
+    }
+
+    /// Looks up `key` (refreshing it to most-recently-used) or inserts
+    /// `make()` as most-recently-used, probing the index once on the hit
+    /// path. Returns the resident value and the entry evicted by an
+    /// insert at capacity, if any.
+    ///
+    /// Convenience form of [`LruTable::entry`] for call sites whose two
+    /// branches converge on one value. The predictor tables all do
+    /// branch-specific work (train vs construct, victim recycling), so
+    /// they match on `entry` directly; this wrapper is kept in lockstep
+    /// with that path by the entry-vs-classic property suite below.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: K,
+        make: impl FnOnce() -> V,
+    ) -> (&mut V, Option<(K, V)>) {
+        match self.entry(key) {
+            Entry::Occupied(e) => (e.into_mut(), None),
+            Entry::Vacant(VacantEntry { table, key }) => {
+                let evicted = table.insert_fresh(key, make());
+                let head = table.head;
+                (&mut table.slots[head as usize].value, evicted)
+            }
+        }
+    }
+
+    /// Inserts a key known to be absent (the vacant half of
+    /// [`LruTable::entry`]), evicting the LRU entry at capacity. The new
+    /// slot becomes `self.head`.
+    fn insert_fresh(&mut self, key: K, value: V) -> Option<(K, V)> {
+        let mut evicted_key = None;
+        if self.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let k = self.slots[lru as usize].key.clone();
+            self.index.remove(&k);
+            self.free.push(lru);
+            evicted_key = Some(k);
+        }
+        let (i, evicted) = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                let old_value = std::mem::replace(&mut slot.value, value);
+                slot.key = key.clone();
+                (i, evicted_key.map(|k| (k, old_value)))
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                });
+                self.links.push(Link {
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.slots.len() as u32 - 1, None)
+            }
+        };
+        self.index.insert(key, i);
+        self.push_front(i);
+        evicted
+    }
+
+    /// Spare bucket headroom of the hash index (diagnostics: the
+    /// pre-sizing regression test asserts inserting `capacity` entries
+    /// triggers no reallocation).
+    pub fn index_capacity(&self) -> usize {
+        self.index.capacity()
     }
 
     /// Whether `key` is resident (no recency update).
@@ -132,45 +256,14 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
     /// value under `key` if it was already resident (as `(key, old_value)`).
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         if let Some(&i) = self.index.get(&key) {
-            let old = std::mem::replace(&mut self.slots[i].value, value);
+            let old = std::mem::replace(&mut self.slots[i as usize].value, value);
             if self.head != i {
                 self.unlink(i);
                 self.push_front(i);
             }
             return Some((key, old));
         }
-        let mut evicted_key = None;
-        if self.len() == self.capacity {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            self.unlink(lru);
-            let k = self.slots[lru].key.clone();
-            self.index.remove(&k);
-            self.free.push(lru);
-            evicted_key = Some(k);
-        }
-        let (i, evicted) = match self.free.pop() {
-            Some(i) => {
-                let slot = &mut self.slots[i];
-                let old_value = std::mem::replace(&mut slot.value, value);
-                slot.key = key.clone();
-                slot.prev = NIL;
-                slot.next = NIL;
-                (i, evicted_key.map(|k| (k, old_value)))
-            }
-            None => {
-                self.slots.push(Slot {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                });
-                (self.slots.len() - 1, None)
-            }
-        };
-        self.index.insert(key, i);
-        self.push_front(i);
-        evicted
+        self.insert_fresh(key, value)
     }
 
     /// Removes `key`, returning its value.
@@ -181,7 +274,7 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
         let i = self.index.remove(key)?;
         self.unlink(i);
         self.free.push(i);
-        Some(std::mem::take(&mut self.slots[i].value))
+        Some(std::mem::take(&mut self.slots[i as usize].value))
     }
 
     /// Iterates over `(key, value)` pairs from most- to least-recently-used.
@@ -197,8 +290,61 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
         if self.tail == NIL {
             None
         } else {
-            Some(&self.slots[self.tail].key)
+            Some(&self.slots[self.tail as usize].key)
         }
+    }
+}
+
+/// A single-hash view into an [`LruTable`] slot, from
+/// [`LruTable::entry`].
+#[derive(Debug)]
+pub enum Entry<'a, K, V> {
+    /// The key is resident; its slot was refreshed to MRU by the probe.
+    Occupied(OccupiedEntry<'a, K, V>),
+    /// The key is absent; [`VacantEntry::insert`] completes the access
+    /// without having probed twice.
+    Vacant(VacantEntry<'a, K, V>),
+}
+
+/// The resident half of [`Entry`]: the slot is already MRU.
+#[derive(Debug)]
+pub struct OccupiedEntry<'a, K, V> {
+    table: &'a mut LruTable<K, V>,
+    at: u32,
+}
+
+impl<'a, K, V> OccupiedEntry<'a, K, V> {
+    /// The resident value.
+    pub fn get(&self) -> &V {
+        &self.table.slots[self.at as usize].value
+    }
+
+    /// The resident value, mutably.
+    pub fn get_mut(&mut self) -> &mut V {
+        &mut self.table.slots[self.at as usize].value
+    }
+
+    /// Consumes the entry, returning the value for the table borrow's
+    /// lifetime.
+    pub fn into_mut(self) -> &'a mut V {
+        &mut self.table.slots[self.at as usize].value
+    }
+}
+
+/// The absent half of [`Entry`].
+#[derive(Debug)]
+pub struct VacantEntry<'a, K, V> {
+    table: &'a mut LruTable<K, V>,
+    key: K,
+}
+
+impl<K: Eq + Hash + Clone, V> VacantEntry<'_, K, V> {
+    /// Inserts `value` under the probed key as most-recently-used,
+    /// returning the LRU entry evicted if the table was at capacity —
+    /// exactly what [`LruTable::insert`] of an absent key returns,
+    /// minus its redundant index probe.
+    pub fn insert(self, value: V) -> Option<(K, V)> {
+        self.table.insert_fresh(self.key, value)
     }
 }
 
@@ -206,7 +352,7 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
 #[derive(Clone, Debug)]
 pub struct Iter<'a, K, V> {
     table: &'a LruTable<K, V>,
-    cursor: usize,
+    cursor: u32,
 }
 
 impl<'a, K, V> Iterator for Iter<'a, K, V> {
@@ -216,8 +362,8 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
         if self.cursor == NIL {
             return None;
         }
-        let slot = &self.table.slots[self.cursor];
-        self.cursor = slot.next;
+        let slot = &self.table.slots[self.cursor as usize];
+        self.cursor = self.table.links[self.cursor as usize].next;
         Some((&slot.key, &slot.value))
     }
 }
@@ -306,6 +452,122 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_rejected() {
         let _: LruTable<u8, u8> = LruTable::new(0);
+    }
+
+    /// Pre-sizing regression test. Two pinned properties: (1) up to the
+    /// reservation clamp, filling the table performs zero index
+    /// reallocations (`HashMap::capacity` unchanged from construction);
+    /// (2) at *every* capacity — paper-scale PST/PHT sizes included —
+    /// steady-state churn past capacity performs zero reallocations,
+    /// because eviction holds occupancy constant. Growth during the
+    /// first fill of an over-clamp table is bounded and one-time
+    /// (measured cheaper end-to-end than eagerly reserving ~0.4MB per
+    /// session for indexes most sessions never fill; see
+    /// `LruTable::new`).
+    #[test]
+    fn index_never_reallocates_under_the_clamp_nor_under_churn() {
+        for capacity in [1usize, 64, 1000, 4096] {
+            let mut t: LruTable<u64, u64> = LruTable::new(capacity);
+            let reserved = t.index_capacity();
+            assert!(
+                reserved >= capacity,
+                "index under-reserved at construction: {reserved} < {capacity}"
+            );
+            for i in 0..capacity as u64 {
+                t.insert(i, i);
+            }
+            assert_eq!(t.len(), capacity);
+            assert_eq!(
+                t.index_capacity(),
+                reserved,
+                "index reallocated while filling to capacity {capacity}"
+            );
+            // Churn past capacity must not grow it either: evictions keep
+            // occupancy constant.
+            for i in 0..(2 * capacity as u64) {
+                t.insert(capacity as u64 + i, i);
+            }
+            assert_eq!(
+                t.index_capacity(),
+                reserved,
+                "index reallocated under churn at capacity {capacity}"
+            );
+        }
+        // Paper-scale sizes: the first fill may grow the clamped
+        // reservation (bounded, one-time), but once full, churn must
+        // never reallocate the index again.
+        for capacity in [5000usize, 16 * 1024] {
+            let mut t: LruTable<u64, u64> = LruTable::new(capacity);
+            for i in 0..capacity as u64 {
+                t.insert(i, i);
+            }
+            assert_eq!(t.len(), capacity);
+            let filled = t.index_capacity();
+            for i in 0..(2 * capacity as u64) {
+                t.insert(capacity as u64 + i, i);
+            }
+            assert_eq!(
+                t.index_capacity(),
+                filled,
+                "index reallocated under churn at capacity {capacity}"
+            );
+        }
+    }
+
+    /// The single-hash entry API must be behaviorally identical to the
+    /// get-then-insert pattern it replaces: occupied refreshes recency
+    /// exactly like `get`, vacant inserts exactly like `insert` of an
+    /// absent key (same eviction, same MRU placement).
+    #[test]
+    fn entry_matches_get_then_insert_under_random_ops() {
+        use crate::util::XorShift64;
+
+        for seed in 0..20u64 {
+            let mut rng = XorShift64::new(0x0E27 ^ seed);
+            let capacity = 1 + rng.below(12) as usize;
+            let mut via_entry: LruTable<u32, u32> = LruTable::new(capacity);
+            let mut classic: LruTable<u32, u32> = LruTable::new(capacity);
+            for step in 0..2000u32 {
+                let key = rng.below(24) as u32;
+                if rng.below(2) == 0 {
+                    // get_or_insert_with vs get-then-insert.
+                    let (v, evicted) = via_entry.get_or_insert_with(key, || step);
+                    let (want_v, want_evicted) = match classic.get(&key) {
+                        Some(v) => (*v, None),
+                        None => (step, classic.insert(key, step)),
+                    };
+                    assert_eq!(*v, want_v, "value diverged at step {step} (seed {seed})");
+                    assert_eq!(
+                        evicted, want_evicted,
+                        "eviction diverged at step {step} (seed {seed})"
+                    );
+                } else {
+                    // Explicit entry match vs the classic pattern.
+                    match via_entry.entry(key) {
+                        Entry::Occupied(mut e) => {
+                            *e.get_mut() += 1;
+                            assert_eq!(
+                                e.get(),
+                                classic
+                                    .get(&key)
+                                    .map(|v| {
+                                        *v += 1;
+                                        &*v
+                                    })
+                                    .expect("oracle must agree on residency")
+                            );
+                        }
+                        Entry::Vacant(e) => {
+                            assert!(classic.get(&key).is_none(), "residency diverged");
+                            assert_eq!(e.insert(step), classic.insert(key, step));
+                        }
+                    }
+                }
+                let a: Vec<(u32, u32)> = via_entry.iter().map(|(&k, &v)| (k, v)).collect();
+                let b: Vec<(u32, u32)> = classic.iter().map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(a, b, "recency order diverged at step {step} (seed {seed})");
+            }
+        }
     }
 
     /// A naive, obviously-correct reference: a Vec ordered MRU-first.

@@ -4,6 +4,6 @@ mod lru;
 mod order_buffer;
 mod xorshift;
 
-pub use lru::LruTable;
+pub use lru::{Entry, LruTable, OccupiedEntry, VacantEntry};
 pub use order_buffer::{HasBlock, OrderBuffer};
 pub use xorshift::XorShift64;

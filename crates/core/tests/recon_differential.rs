@@ -1,0 +1,134 @@
+//! Property-based differential suite for the bitmap reconstruction
+//! window (PR 5): random RMOB/PST streams driven through the flat
+//! power-of-two occupancy-bitmap ring (`Reconstructor`) and the retained
+//! deque implementation (`oracle::DequeReconstructor`) must agree
+//! exactly — placement slots (via window snapshots), `ReconStats`
+//! counters, cursor state, and drain order — across the whole supported
+//! search-distance range 0–4.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use stems_core::sms::spatial_index;
+use stems_core::stems::recon::oracle::DequeReconstructor;
+use stems_core::stems::{Pst, Reconstructor, Rmob, RmobEntry};
+use stems_types::{BlockOffset, Delta, Pc, RegionAddr, SpatialSequence};
+
+fn rmob_entry(region: u64, offset: u8, pc: u64, delta: u8) -> RmobEntry {
+    RmobEntry {
+        block: RegionAddr::new(region).block_at(BlockOffset::new(offset % 32)),
+        pc: Pc::new(pc),
+        delta: Delta::from(delta),
+    }
+}
+
+fn sequence(items: &[(u8, u8)]) -> SpatialSequence {
+    items
+        .iter()
+        .map(|&(o, d)| (BlockOffset::new(o % 32), Delta::from(d)))
+        .collect()
+}
+
+proptest! {
+    /// Lockstep equivalence over random temporal skeletons, random
+    /// trained spatial sequences, and random drain chunk sizes, at every
+    /// search distance 0..=4 and across small and paper-size windows.
+    #[test]
+    fn bitmap_ring_equals_deque_oracle(
+        search in 0usize..5,
+        capacity_pick in 0usize..4,
+        entries in proptest::collection::vec(
+            (0u64..20, 0u8..32, 1u64..6, 0u8..6), 1..160),
+        trainings in proptest::collection::vec(
+            (1u64..6, 0u8..32,
+             proptest::collection::vec((0u8..32, 0u8..4), 1..5)), 0..40),
+        chunks in proptest::collection::vec(1usize..8, 1..80),
+        start in 0u64..32,
+    ) {
+        let capacity = [2usize, 5, 64, 256][capacity_pick];
+        let mut rmob = Rmob::new(256);
+        for &(region, offset, pc, delta) in &entries {
+            rmob.append(rmob_entry(region, offset, pc, delta));
+        }
+        let mut pst_ring = Pst::new(32);
+        let mut pst_deque = Pst::new(32);
+        for (pc, offset, items) in &trainings {
+            let s = sequence(items);
+            // Trained twice so elements cross the 2-bit counter
+            // prediction threshold and actually expand.
+            for _ in 0..2 {
+                pst_ring.train(spatial_index(Pc::new(*pc), BlockOffset::new(*offset % 32)), &s);
+                pst_deque.train(spatial_index(Pc::new(*pc), BlockOffset::new(*offset % 32)), &s);
+            }
+        }
+        let mut ring = Reconstructor::new(start, capacity, search);
+        let mut deque = DequeReconstructor::new(start, capacity, search);
+        let mut ring_out = VecDeque::new();
+        let mut deque_out = VecDeque::new();
+        let mut ring_regions = Vec::new();
+        let mut deque_regions = Vec::new();
+        for (round, &n) in chunks.iter().enumerate() {
+            let a = ring.produce_into(
+                n, &rmob, &mut pst_ring, |r, i| ring_regions.push((r, i)), &mut ring_out);
+            let b = deque.produce_into(
+                n, &rmob, &mut pst_deque, |r, i| deque_regions.push((r, i)), &mut deque_out);
+            prop_assert_eq!(a, b, "appended count diverged at round {}", round);
+            prop_assert_eq!(&ring_out, &deque_out, "drain order diverged at round {}", round);
+            prop_assert_eq!(ring.stats, deque.stats, "stats diverged at round {}", round);
+            prop_assert_eq!(
+                ring.cursor_state(), deque.cursor_state(),
+                "cursor state diverged at round {}", round);
+            prop_assert_eq!(
+                ring.window_snapshot(), deque.window_snapshot(),
+                "window contents diverged at round {}", round);
+            prop_assert_eq!(
+                &ring_regions, &deque_regions,
+                "predicted-region callbacks diverged at round {}", round);
+            if a == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Expansion-granular equivalence: after every single `expand_one`
+    /// the two windows hold identical contents, so any placement-slot
+    /// divergence is caught at the exact expansion that introduced it.
+    #[test]
+    fn expansion_steps_agree_slot_by_slot(
+        search in 0usize..5,
+        entries in proptest::collection::vec(
+            (0u64..10, 0u8..32, 1u64..4, 0u8..4), 1..60),
+        trainings in proptest::collection::vec(
+            (1u64..4, 0u8..32,
+             proptest::collection::vec((0u8..32, 0u8..3), 1..4)), 0..20),
+    ) {
+        let mut rmob = Rmob::new(128);
+        for &(region, offset, pc, delta) in &entries {
+            rmob.append(rmob_entry(region, offset, pc, delta));
+        }
+        let mut pst_ring = Pst::new(16);
+        let mut pst_deque = Pst::new(16);
+        for (pc, offset, items) in &trainings {
+            let s = sequence(items);
+            for _ in 0..2 {
+                pst_ring.train(spatial_index(Pc::new(*pc), BlockOffset::new(*offset % 32)), &s);
+                pst_deque.train(spatial_index(Pc::new(*pc), BlockOffset::new(*offset % 32)), &s);
+            }
+        }
+        let mut ring = Reconstructor::new(0, 64, search);
+        let mut deque = DequeReconstructor::new(0, 64, search);
+        for step in 0..entries.len() + 2 {
+            let a = ring.expand_one(&rmob, &mut pst_ring, |_, _| {});
+            let b = deque.expand_one(&rmob, &mut pst_deque, |_, _| {});
+            prop_assert_eq!(a, b, "expand_one return diverged at step {}", step);
+            prop_assert_eq!(ring.stats, deque.stats, "stats diverged at step {}", step);
+            prop_assert_eq!(
+                ring.window_snapshot(), deque.window_snapshot(),
+                "placement slots diverged at step {}", step);
+            if !a {
+                break;
+            }
+        }
+    }
+}

@@ -4,12 +4,15 @@
 //!
 //! Usage: `cargo run --release -p stems-harness --bin bench_check --
 //! --baseline tools/bench_baseline.json --current BENCH_smoke.json
-//! [--max-slowdown 2.5]`
+//! [--max-slowdown 2.5] [--stems-max-slowdown 2.0]`
 //!
 //! The tolerance is deliberately generous: bench numbers come from noisy
 //! shared VMs (±30% run-to-run on the same binary), so the gate is a
 //! tripwire for order-of-magnitude hot-path mistakes (an accidental
-//! O(n²), a lost inline, a debug build), not a benchmark.
+//! O(n²), a lost inline, a debug build), not a benchmark. The STeMS rows
+//! — the headline predictor and the target of successive hot-path PRs —
+//! are gated explicitly with a tighter tolerance, and the baseline is
+//! required to contain them so the gate cannot silently disappear.
 
 use stems_harness::bench;
 
@@ -29,6 +32,9 @@ fn main() {
     let max_slowdown: f64 = arg_value(&args, "--max-slowdown")
         .map(|s| s.parse().expect("--max-slowdown takes a float"))
         .unwrap_or(2.5);
+    let stems_max_slowdown: f64 = arg_value(&args, "--stems-max-slowdown")
+        .map(|s| s.parse().expect("--stems-max-slowdown takes a float"))
+        .unwrap_or(2.0);
 
     let read = |path: &str| -> Vec<(String, f64)> {
         let json = std::fs::read_to_string(path)
@@ -43,14 +49,23 @@ fn main() {
             .any(|(n, _)| n.starts_with("step_throughput/")),
         "bench_check: no step_throughput metrics in baseline {baseline_path}"
     );
+    assert!(
+        baseline.iter().any(|(n, _)| n.ends_with("/STeMS")),
+        "bench_check: no STeMS rows in baseline {baseline_path}; the headline predictor must stay gated"
+    );
 
-    let lines = bench::check_regressions(&baseline, &current, max_slowdown);
+    let lines =
+        bench::check_regressions_with(&baseline, &current, max_slowdown, stems_max_slowdown);
     assert!(
         !lines.is_empty(),
         "bench_check: no comparable step_throughput metrics between {baseline_path} and {current_path}"
     );
+    assert!(
+        lines.iter().any(|l| l.name.ends_with("/STeMS")),
+        "bench_check: STeMS rows missing from the comparison; current report lost them"
+    );
     eprintln!(
-        "bench_check: {} metrics, max allowed slowdown {max_slowdown}x ({baseline_path} -> {current_path})",
+        "bench_check: {} metrics, max allowed slowdown {max_slowdown}x ({stems_max_slowdown}x for STeMS rows) ({baseline_path} -> {current_path})",
         lines.len()
     );
     let mut failed = 0;

@@ -92,6 +92,7 @@ impl Hierarchy {
     /// [`Hierarchy::access_l1_hit`] + [`Hierarchy::access_after_l1_miss`]
     /// (or + [`Hierarchy::fill_into`] when `svb_take` fires) by the
     /// differential-oracle property tests in `tests/probe_differential.rs`.
+    #[inline]
     pub fn probe(
         &mut self,
         block: BlockAddr,
@@ -99,7 +100,34 @@ impl Hierarchy {
         svb_take: impl FnOnce() -> bool,
         l1_evicted: &mut Vec<BlockAddr>,
     ) -> ProbeLevel {
-        let Some(missed) = self.l1.probe(block, is_write) else {
+        self.probe_at(
+            self.l1.set_base(block),
+            block,
+            is_write,
+            svb_take,
+            l1_evicted,
+        )
+    }
+
+    /// The L1 way-array base for `block`, for a per-access pre-decode:
+    /// compute up front, redeem with [`Hierarchy::probe_at`].
+    #[inline]
+    pub fn l1_set_base(&self, block: BlockAddr) -> usize {
+        self.l1.set_base(block)
+    }
+
+    /// [`Hierarchy::probe`] with the L1 set base already computed (by
+    /// [`Hierarchy::l1_set_base`]); behavior is otherwise identical.
+    #[inline]
+    pub fn probe_at(
+        &mut self,
+        l1_base: usize,
+        block: BlockAddr,
+        is_write: bool,
+        svb_take: impl FnOnce() -> bool,
+        l1_evicted: &mut Vec<BlockAddr>,
+    ) -> ProbeLevel {
+        let Some(missed) = self.l1.probe_at(l1_base, block, is_write) else {
             return ProbeLevel::L1;
         };
         if svb_take() {

@@ -7,7 +7,8 @@
 //! random access/invalidation/fill sequences — including interposed
 //! (SVB-hit) accesses — and require the satisfying level, the eviction
 //! lists, every demand counter, and the final residency to match exactly
-//! at L1 associativities 1, 2, 8, and 16.
+//! at L1 associativities 1, 2, 4, 8, and 16 (the fixed-width specialized
+//! set scans) plus 3 (the generic fallback scan).
 
 use proptest::prelude::*;
 
@@ -188,6 +189,24 @@ proptest! {
         ops in proptest::collection::vec((0u64..192, 0u8..5), 1..400),
     ) {
         check_differential(2, l2_assoc, &ops)?;
+    }
+
+    #[test]
+    fn probe_matches_scalar_path_at_assoc_4(
+        l2_assoc in 1usize..=8,
+        ops in proptest::collection::vec((0u64..192, 0u8..5), 1..400),
+    ) {
+        check_differential(4, l2_assoc, &ops)?;
+    }
+
+    /// Associativity 3 is not one of the fixed-width specializations, so
+    /// this pins the generic fallback scan against the scalar oracle too.
+    #[test]
+    fn probe_matches_scalar_path_at_assoc_3_generic_fallback(
+        l2_assoc in 1usize..=8,
+        ops in proptest::collection::vec((0u64..192, 0u8..5), 1..400),
+    ) {
+        check_differential(3, l2_assoc, &ops)?;
     }
 
     #[test]
