@@ -181,6 +181,82 @@ fn bench_recon_window(c: &mut Criterion) {
     g.finish();
 }
 
+/// Open-addressed PST vs the retained `LruTable`-backed oracle (PR 6)
+/// under a reconstruction-expansion key distribution: spatial indices
+/// from a handful of trigger PCs crossed with the 32 region offsets, a
+/// hit-heavy mix with a miss tail, probed scalar and batched. The
+/// batched variant does the full expansion-path work — `lookup_regions`
+/// over 8-index batches plus a deferred `touch` per hit — so its row is
+/// directly the per-expansion cost the Reconstructor pays.
+fn bench_pst_probe(c: &mut Criterion) {
+    use stems_core::sms::spatial_index;
+    use stems_core::stems::pst::{oracle::LruPst, Pst, PST_MISS};
+    use stems_types::{BlockOffset, Delta, Pc};
+
+    // Figure-run scale: a few thousand resident sequences (48 trigger
+    // PCs x 32 offsets), so probes walk memory the way em3d's do rather
+    // than hitting a cache-resident toy table.
+    let trained_pcs = 48u64;
+    let mut open = Pst::new(4096);
+    let mut lru = LruPst::new(4096);
+    for pc in 0..trained_pcs {
+        for o in 0..32u8 {
+            let seq: stems_types::SpatialSequence = (0..4)
+                .map(|k| (BlockOffset::new((o + 5 * k + 1) % 32), Delta::from(k % 2)))
+                .collect();
+            for _ in 0..2 {
+                open.train(spatial_index(Pc::new(1 + pc), BlockOffset::new(o)), &seq);
+                lru.train(spatial_index(Pc::new(1 + pc), BlockOffset::new(o)), &seq);
+            }
+        }
+    }
+    // ~3/4 hits (trained PCs), ~1/4 misses (PCs never trained), with the
+    // offset walking the way consecutive RMOB triggers do.
+    let keys: Vec<u64> = (0..10_000u64)
+        .map(|i| {
+            let pc = 1 + (i * 17) % (trained_pcs + 16);
+            spatial_index(Pc::new(pc), BlockOffset::new((i * 7 % 32) as u8))
+        })
+        .collect();
+    let mut g = c.benchmark_group("pst_probe");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("open_addressed_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += open.lookup(k).is_some() as u64;
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("open_addressed_batched_10k", |b| {
+        let mut ids = Vec::new();
+        b.iter(|| {
+            let mut hits = 0u64;
+            for chunk in keys.chunks(8) {
+                open.lookup_regions(chunk, &mut ids);
+                for &id in &ids {
+                    if id != PST_MISS {
+                        open.touch(id);
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("lru_table_lookup_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += lru.lookup(k).is_some() as u64;
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
 fn bench_prefetcher_throughput(c: &mut Criterion) {
     let trace = Workload::Db2.generate_scaled(0.02, 7);
     let sys = SystemConfig::small();
@@ -207,7 +283,7 @@ criterion_group! {
     name = structures;
     config = Criterion::default().sample_size(20);
     targets = bench_cache, bench_hierarchy_probe, bench_lru, bench_order_buffer,
-              bench_recon_window, bench_sequitur, bench_workload_generation,
-              bench_prefetcher_throughput
+              bench_pst_probe, bench_recon_window, bench_sequitur,
+              bench_workload_generation, bench_prefetcher_throughput
 }
 criterion_main!(structures);

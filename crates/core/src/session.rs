@@ -204,6 +204,16 @@ impl AnyPrefetcher {
             _ => None,
         }
     }
+
+    /// Total PST key probes issued so far, when this is the STeMS
+    /// predictor (the counter behind the bench harness's
+    /// `pst_probes_per_access` diagnostic rows).
+    pub fn pst_probes(&self) -> Option<u64> {
+        match self {
+            AnyPrefetcher::Stems(p) => Some(p.pst().probes()),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! dispatch {
@@ -369,6 +379,12 @@ impl Session {
     /// the STeMS predictor.
     pub fn recon_stats(&self) -> Option<ReconStats> {
         self.sim.prefetcher().recon_stats()
+    }
+
+    /// Total PST key probes issued, when this session runs the STeMS
+    /// predictor.
+    pub fn pst_probes(&self) -> Option<u64> {
+        self.sim.prefetcher().pst_probes()
     }
 }
 

@@ -307,12 +307,17 @@ impl Prefetcher for StemsPrefetcher {
                     }
                 }
                 crate::util::Entry::Vacant(slot) => {
-                    // Trigger: a new spatial generation begins.
+                    // Trigger: a new spatial generation begins. One PST
+                    // probe serves both the trigger-time pattern and the
+                    // spatial-only stream below (the old `lookup` +
+                    // `peek` pair paid a second probe for the stream).
                     let index = spatial_index(ev.pc, offset);
-                    let predicted_at_trigger = pst
-                        .lookup(index)
-                        .map(|s| s.predicted_pattern())
-                        .unwrap_or_else(SpatialPattern::empty);
+                    let hit = pst.lookup_id(index);
+                    let predicted_at_trigger = if hit != pst::PST_MISS {
+                        pst.sequence_at(hit).predicted_pattern()
+                    } else {
+                        SpatialPattern::empty()
+                    };
                     let generation = ActiveGeneration {
                         trigger_pc: ev.pc,
                         trigger_offset: offset,
@@ -333,19 +338,24 @@ impl Prefetcher for StemsPrefetcher {
                     if *spatial_only_enabled
                         && recon_index != Some(index)
                         && !predicted_at_trigger.is_empty()
+                        // Probe-free revalidation in place of the old
+                        // `peek`: the victim training above may have
+                        // displaced the entry (only possible at
+                        // degenerate PST capacities), in which case the
+                        // peek would have missed too.
+                        && pst.entry_matches(hit, index)
                     {
-                        if let Some(seq) = pst.peek(index) {
-                            let mut addrs = recon_pool.take_deque();
-                            addrs.extend(
-                                seq.predicted()
-                                    .filter(|e| e.offset != offset)
-                                    .map(|e| region.block_at(e.offset)),
-                            );
-                            if addrs.is_empty() {
-                                recon_pool.put_deque(addrs);
-                            } else {
-                                spatial_only = Some(addrs);
-                            }
+                        let seq = pst.sequence_at(hit);
+                        let mut addrs = recon_pool.take_deque();
+                        addrs.extend(
+                            seq.predicted()
+                                .filter(|e| e.offset != offset)
+                                .map(|e| region.block_at(e.offset)),
+                        );
+                        if addrs.is_empty() {
+                            recon_pool.put_deque(addrs);
+                        } else {
+                            spatial_only = Some(addrs);
                         }
                     }
                 }

@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use stems_types::BlockAddr;
+use stems_types::{BlockAddr, FlatBitmap};
 
 use crate::stems::rmob::RmobEntry;
 use crate::util::OrderBuffer;
@@ -112,7 +112,7 @@ pub struct Reconstructor {
     /// `occupancy` (a stale value under a clear bit is never read).
     slots: Vec<BlockAddr>,
     /// One bit per physical slot: set = slot holds a prediction.
-    occupancy: Vec<u64>,
+    occupancy: FlatBitmap,
     /// `slots.len() - 1`; absolute slot & mask = physical slot.
     slot_mask: u64,
     /// Absolute slot index of the window front.
@@ -151,7 +151,7 @@ impl Reconstructor {
         let physical = ring_size(capacity);
         Reconstructor {
             slots: vec![BlockAddr::new(0); physical],
-            occupancy: vec![0; physical / 64],
+            occupancy: FlatBitmap::new(physical),
             slot_mask: physical as u64 - 1,
             base: 0,
             materialized: 0,
@@ -172,10 +172,10 @@ impl Reconstructor {
         let physical = ring_size(capacity);
         if physical != self.slots.len() {
             self.slots = vec![BlockAddr::new(0); physical];
-            self.occupancy = vec![0; physical / 64];
+            self.occupancy.reset(physical);
             self.slot_mask = physical as u64 - 1;
         } else {
-            self.occupancy.fill(0);
+            self.occupancy.clear_all();
         }
         self.base = 0;
         self.materialized = 0;
@@ -190,8 +190,7 @@ impl Reconstructor {
 
     #[inline]
     fn is_occupied(&self, abs: u64) -> bool {
-        let s = abs & self.slot_mask;
-        self.occupancy[(s >> 6) as usize] & (1u64 << (s & 63)) != 0
+        self.occupancy.get((abs & self.slot_mask) as usize)
     }
 
     /// Marks `abs` occupied with `block`, extending the materialized
@@ -200,7 +199,7 @@ impl Reconstructor {
     #[inline]
     fn set_slot(&mut self, abs: u64, block: BlockAddr) {
         let s = abs & self.slot_mask;
-        self.occupancy[(s >> 6) as usize] |= 1u64 << (s & 63);
+        self.occupancy.set(s as usize);
         self.slots[s as usize] = block;
         if abs >= self.materialized {
             self.materialized = abs + 1;
@@ -269,7 +268,7 @@ impl Reconstructor {
         while abs < limit {
             let s = abs & self.slot_mask;
             let bit = s & 63;
-            let word = self.occupancy[(s >> 6) as usize] >> bit;
+            let word = self.occupancy.word((s >> 6) as usize) >> bit;
             if word != 0 {
                 let cand = abs + word.trailing_zeros() as u64;
                 return (cand < limit).then_some(cand);
@@ -286,6 +285,17 @@ impl Reconstructor {
     /// `predicted_region` is invoked with each region whose spatial
     /// sequence was used, so the caller can remember the reconstruction
     /// index (suppressing redundant spatial-only streams, Section 4.2).
+    ///
+    /// The PST consult here is deliberately a *scalar* [`Pst::lookup`].
+    /// Resolving upcoming expansions in one [`Pst::lookup_regions`] batch
+    /// (with the recency touch deferred to expansion time) was built and
+    /// measured for PR 6, and lost end-to-end: the engine drains streams
+    /// in `refill_chunk`-sized nibbles (4 addresses ≈ 1–3 expansions), so
+    /// batches stayed too narrow for the probe pipelining to pay for the
+    /// id-cache bookkeeping — even with the batch width ramping 1→8
+    /// within a drain. Per the house rules that measured pessimization
+    /// was reverted, not shipped; the batch API remains on [`Pst`] for
+    /// wider-drain callers and is pinned by the differential suite.
     pub fn expand_one(
         &mut self,
         rmob: &OrderBuffer<RmobEntry>,
@@ -318,13 +328,11 @@ impl Reconstructor {
             None => self.horizon, // trigger dropped: chain spatials anyway
         };
         let region = entry.block.region();
+        // Placement reads the sequence in place: `lookup` borrows `pst`
+        // while placement mutates `self`, so no staging buffer is needed.
+        // Callback timing: `predicted_region` fires before the first
+        // placement, and only when the sequence predicts >= one element.
         let index = spatial_index(entry.pc, entry.block.offset_in_region());
-        // Place directly from the PST sequence iterator: the sequence
-        // borrows `pst` while placement mutates `self`, so no staging
-        // buffer is needed — the old per-expansion scratch paid a clear,
-        // a push per element, and a second walk. Callback timing is
-        // preserved: `predicted_region` fires before the first placement,
-        // and only when the sequence predicts at least one element.
         if let Some(seq) = pst.lookup(index) {
             let mut predicted = seq.predicted();
             if let Some(first) = predicted.next() {
@@ -389,7 +397,7 @@ impl Reconstructor {
                     // Emit the front slot and clear its bit so the
                     // physical slot is clean when the ring wraps back.
                     let s = (self.base & self.slot_mask) as usize;
-                    self.occupancy[s >> 6] &= !(1u64 << (s & 63));
+                    self.occupancy.clear(s);
                     out.push_back(self.slots[s]);
                     appended += 1;
                     self.base += 1;

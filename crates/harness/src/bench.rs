@@ -128,6 +128,22 @@ pub fn run(settings: Settings) -> Vec<Measurement> {
                 unit: "accesses_per_sec",
             });
         }
+        // PST probe pressure (PR 6): one deterministic STeMS run per
+        // workload, reporting key probes issued against the pattern
+        // sequence table per simulated access — the hot-path quantity
+        // the open-addressed PST targets. Not a throughput row:
+        // `bench_check` must skip it (unit gating), never gate on it.
+        let sys = system_config(settings.scale);
+        let mut session = session_builder(w, Predictor::Stems, &sys).build();
+        session.run(&trace);
+        let probes = session
+            .pst_probes()
+            .expect("a STeMS session reports PST probes");
+        out.push(Measurement {
+            name: format!("pst_probes_per_access/{}", w.name()),
+            value: probes as f64 / trace.len().max(1) as f64,
+            unit: "probes_per_access",
+        });
     }
     for (name, f) in [
         ("table1", figs::table1 as fn(Settings) -> String),
@@ -183,17 +199,28 @@ pub fn to_json(settings: Settings, measurements: &[Measurement]) -> String {
 /// not a general JSON parser — each measurement sits on one line as
 /// `{"name": "...", "value": N, "unit": "..."}`.
 pub fn parse_report(json: &str) -> Vec<(String, f64)> {
+    parse_report_units(json)
+        .into_iter()
+        .map(|(name, value, _)| (name, value))
+        .collect()
+}
+
+/// [`parse_report`] keeping each row's unit label, so a gate can decide
+/// what a number *is* (a throughput, a wall-clock, a diagnostic ratio)
+/// instead of guessing from its name. Rows without a parseable unit
+/// report an empty label rather than being dropped.
+pub fn parse_report_units(json: &str) -> Vec<(String, f64, String)> {
+    fn quoted_after<'a>(line: &'a str, field: &str) -> Option<&'a str> {
+        let rest = &line[line.find(field)? + field.len()..];
+        let open = rest.find('"')?;
+        let close = rest[open + 1..].find('"')?;
+        Some(&rest[open + 1..open + 1 + close])
+    }
     let mut out = Vec::new();
     for line in json.lines() {
-        let Some(name_at) = line.find("\"name\":") else {
+        let Some(name) = quoted_after(line, "\"name\":") else {
             continue;
         };
-        let rest = &line[name_at + 7..];
-        let Some(open) = rest.find('"') else { continue };
-        let Some(close) = rest[open + 1..].find('"') else {
-            continue;
-        };
-        let name = &rest[open + 1..open + 1 + close];
         let Some(value_at) = line.find("\"value\":") else {
             continue;
         };
@@ -205,9 +232,21 @@ pub fn parse_report(json: &str) -> Vec<(String, f64)> {
         let Ok(value) = value_str.parse::<f64>() else {
             continue;
         };
-        out.push((name.to_string(), value));
+        let unit = quoted_after(line, "\"unit\":").unwrap_or("");
+        out.push((name.to_string(), value, unit.to_string()));
     }
     out
+}
+
+/// Keeps only rows measured in `accesses_per_sec`: the regression gate's
+/// input filter. Diagnostic rows (`pst_probes_per_access/...`, figure
+/// wall-clocks, `peak_rss`) are skipped here rather than erroring inside
+/// the gate — lower-is-better units would read a *win* as a regression.
+pub fn throughput_rows(rows: &[(String, f64, String)]) -> Vec<(String, f64)> {
+    rows.iter()
+        .filter(|(_, _, unit)| unit == "accesses_per_sec")
+        .map(|(name, value, _)| (name.clone(), *value))
+        .collect()
 }
 
 /// One step-throughput comparison between a baseline report and a fresh
@@ -354,6 +393,47 @@ mod tests {
         assert_eq!(parsed[0].0, "step_throughput/DB2/STeMS");
         assert!((parsed[0].1 - 1234567.891).abs() < 1e-6);
         assert!((parsed[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_throughput_units_are_skipped_not_gated() {
+        let settings = Settings {
+            scale: 0.01,
+            seed: 1,
+            ..Settings::default()
+        };
+        let ms = vec![
+            Measurement {
+                name: "step_throughput/DB2/STeMS".into(),
+                value: 1000.0,
+                unit: "accesses_per_sec",
+            },
+            Measurement {
+                name: "pst_probes_per_access/em3d".into(),
+                value: 1.75,
+                unit: "probes_per_access",
+            },
+            Measurement {
+                name: "figure/fig9/wall".into(),
+                value: 0.25,
+                unit: "seconds",
+            },
+        ];
+        let rows = parse_report_units(&to_json(settings, &ms));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].2, "probes_per_access");
+        let gated = throughput_rows(&rows);
+        assert_eq!(gated.len(), 1, "only the throughput row survives");
+        assert_eq!(gated[0].0, "step_throughput/DB2/STeMS");
+        // A probe-count *improvement* (fewer probes) must never read as
+        // a throughput regression: the row does not reach the gate.
+        let current = vec![
+            ("step_throughput/DB2/STeMS".to_string(), 900.0),
+            ("pst_probes_per_access/em3d".to_string(), 1.40),
+        ];
+        let lines = check_regressions(&gated, &current, 2.0);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].failed);
     }
 
     #[test]

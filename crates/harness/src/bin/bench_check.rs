@@ -36,10 +36,14 @@ fn main() {
         .map(|s| s.parse().expect("--stems-max-slowdown takes a float"))
         .unwrap_or(2.0);
 
+    // Only accesses_per_sec rows enter the gate: diagnostic rows in
+    // other units (pst_probes_per_access, figure wall-clocks, peak_rss)
+    // are skipped, not errors — gating a lower-is-better unit with a
+    // slowdown ratio would invert its meaning.
     let read = |path: &str| -> Vec<(String, f64)> {
         let json = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
-        bench::parse_report(&json)
+        bench::throughput_rows(&bench::parse_report_units(&json))
     };
     let baseline = read(&baseline_path);
     let current = read(&current_path);

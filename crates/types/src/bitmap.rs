@@ -1,0 +1,120 @@
+//! A flat `u64`-word bitmap over a fixed range of slot indices.
+//!
+//! The reconstruction window (PR 5) showed that a word-packed occupancy
+//! bitmap beats per-slot `Option` state for probe-heavy tables: a
+//! membership test is one mask-and-shift against a cache-dense word
+//! array. [`FlatBitmap`] packages that idiom for the open-addressed PST's
+//! occupancy and tombstone planes (and any future power-of-two table),
+//! where the alternative — a per-slot state byte — would triple the
+//! probe loop's touched bytes.
+
+/// A fixed-size bitmap addressed by slot index.
+///
+/// # Example
+///
+/// ```
+/// use stems_types::FlatBitmap;
+///
+/// let mut b = FlatBitmap::new(128);
+/// b.set(3);
+/// b.set(127);
+/// assert!(b.get(3) && b.get(127) && !b.get(4));
+/// b.clear(3);
+/// assert!(!b.get(3));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FlatBitmap {
+    words: Vec<u64>,
+}
+
+impl FlatBitmap {
+    /// A zeroed bitmap covering `bits` slots (rounded up to a whole word).
+    pub fn new(bits: usize) -> Self {
+        FlatBitmap {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Clears every bit, keeping the allocation.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Resizes to cover `bits` slots with every bit cleared.
+    pub fn reset(&mut self, bits: usize) {
+        self.words.clear();
+        self.words.resize(bits.div_ceil(64), 0);
+    }
+
+    /// The raw 64-bit word holding bits `i * 64 .. i * 64 + 64`, for
+    /// word-at-a-time scans (e.g. the reconstruction window's set-bit
+    /// drain walk).
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Number of set bits (diagnostics; O(words)).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_round_trip() {
+        let mut b = FlatBitmap::new(200);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count(), 8);
+        b.clear(64);
+        assert!(!b.get(64) && b.get(63) && b.get(65));
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn reset_resizes_and_zeroes() {
+        let mut b = FlatBitmap::new(64);
+        b.set(5);
+        b.reset(256);
+        assert_eq!(b.count(), 0);
+        b.set(255);
+        assert!(b.get(255));
+        b.reset(64);
+        assert_eq!(b.count(), 0);
+        assert!(!b.get(63));
+    }
+
+    #[test]
+    fn sizes_round_up_to_whole_words() {
+        let b = FlatBitmap::new(1);
+        assert!(!b.get(63)); // slot range extends through the word
+        let b = FlatBitmap::new(65);
+        assert!(!b.get(127));
+    }
+}

@@ -73,6 +73,18 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hashes a single `u64` key exactly as a fresh [`FxHasher`] fed one
+/// `write_u64` would (`(0.rot(5) ^ key) * SEED` collapses to one
+/// multiply), without constructing a hasher. Open-addressed tables that
+/// key directly on a `u64` (the PST's spatial index) derive their slot
+/// from the *high* bits of this value — the multiply pushes the mixed
+/// entropy upward, so `hash >> (64 - log2(slots))` spreads sequential
+/// keys where the low bits would correlate.
+#[inline]
+pub fn fx_hash_u64(key: u64) -> u64 {
+    key.wrapping_mul(SEED)
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -133,6 +145,27 @@ mod tests {
             s.insert(i % 10);
         }
         assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn fx_hash_u64_matches_the_hasher() {
+        for key in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(fx_hash_u64(key), hash_one(key));
+        }
+    }
+
+    #[test]
+    fn high_bit_spread_over_pow2_slots() {
+        // Open-addressed tables take their slot from the top bits:
+        // sequential keys must not collapse into few slots there either.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            buckets[(fx_hash_u64(i) >> 58) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(min > 500 && max < 1500, "min {min} max {max}");
     }
 
     #[test]

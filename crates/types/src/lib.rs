@@ -28,6 +28,7 @@
 //! ```
 
 pub mod addr;
+pub mod bitmap;
 pub mod counter;
 pub mod hash;
 pub mod pattern;
@@ -35,9 +36,11 @@ pub mod sequence;
 pub mod smallvec;
 
 pub use addr::{Addr, BlockAddr, BlockOffset, Pc, RegionAddr};
+pub use bitmap::FlatBitmap;
 pub use counter::SatCounter;
 pub use hash::{
-    fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
+    fx_hash_u64, fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet,
+    FxHasher,
 };
 pub use pattern::SpatialPattern;
 pub use sequence::{Delta, SeqEntry, SequenceArena, SpatialSequence};
