@@ -14,6 +14,7 @@ fn settings() -> Settings {
         scale: SCALE,
         seed: 2009,
         threads: 0,
+        ..Settings::default()
     }
 }
 

@@ -343,6 +343,24 @@ impl Session {
         self.sim.run_chunk_with(chunk, visit);
     }
 
+    /// Streams a persisted trace store through the engine, one frame at
+    /// a time: each decoded chunk is fed straight into
+    /// [`Session::run_chunk`], so memory stays bounded by the store's
+    /// frame size no matter how long the trace is. Returns the number
+    /// of accesses replayed; call [`Session::finalize`] afterwards as
+    /// with any other run.
+    pub fn replay<R: std::io::Read>(
+        &mut self,
+        reader: &mut stems_trace::TraceReader<R>,
+    ) -> Result<u64, stems_trace::TraceStoreError> {
+        let mut fed = 0u64;
+        while let Some(chunk) = reader.next_chunk()? {
+            self.sim.run_chunk(chunk);
+            fed += chunk.len() as u64;
+        }
+        Ok(fed)
+    }
+
     /// Processes one access (thin scalar wrapper over the batched core).
     pub fn step(&mut self, access: &Access) -> StepOutcome {
         self.sim.step(access)
@@ -460,6 +478,40 @@ mod tests {
                 .invalidations(0.01, 99)
                 .run(&trace);
             assert_eq!(direct, via_session, "{p}");
+        }
+    }
+
+    #[test]
+    fn replaying_a_persisted_store_matches_the_in_memory_run() {
+        use stems_trace::{TraceReader, TraceWriter};
+
+        let mut trace = Trace::new();
+        for i in 0..600u64 {
+            trace.read(0x500 + (i % 4), ((i * 7919) % 384) * 2048 + (i % 11) * 64);
+        }
+        let sys = SystemConfig::small();
+        let cfg = PrefetchConfig::small();
+        for p in [Predictor::Stems, Predictor::Sms] {
+            let direct = Session::builder(&sys)
+                .prefetch(&cfg)
+                .predictor(p)
+                .invalidations(0.01, 3)
+                .run(&trace);
+            // Small frames force many chunks through the replay path.
+            let mut buf = Vec::new();
+            let mut w = TraceWriter::new(&mut buf).unwrap().with_frame_capacity(53);
+            w.write_accesses(trace.as_slice()).unwrap();
+            w.finish().unwrap();
+            drop(w);
+            let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+            let mut session = Session::builder(&sys)
+                .prefetch(&cfg)
+                .predictor(p)
+                .invalidations(0.01, 3)
+                .build();
+            let fed = session.replay(&mut reader).unwrap();
+            assert_eq!(fed, trace.len() as u64);
+            assert_eq!(session.finalize(), direct, "{p}");
         }
     }
 

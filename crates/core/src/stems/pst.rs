@@ -16,7 +16,7 @@
 //! * **spatial-index-keyed slots** — power-of-two probe array keyed by
 //!   one [`fx_hash_u64`] multiply, linear probing, with occupancy and
 //!   tombstone state folded into the slot's id field as sentinels
-//!   ([`EMPTY`]/[`TOMBSTONE`]) and the key stored alongside, so a probe
+//!   (`EMPTY`/`TOMBSTONE`) and the key stored alongside, so a probe
 //!   step is one 16-byte slot load with no dependent fetch. (Two
 //!   earlier cuts measured slower and were replaced: separate
 //!   occupancy/tombstone [`FlatBitmap`](stems_types::FlatBitmap) planes

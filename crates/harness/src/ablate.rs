@@ -224,6 +224,7 @@ mod tests {
             scale: 0.03,
             seed: 5,
             threads: 0,
+            ..Settings::default()
         };
         let w = Workload::Qry2;
         let trace = w.generate_scaled(settings.scale, settings.seed);
@@ -249,6 +250,7 @@ mod tests {
             scale: 0.03,
             seed: 5,
             threads: 0,
+            ..Settings::default()
         };
         let w = Workload::Db2;
         let trace = w.generate_scaled(settings.scale, settings.seed);

@@ -18,11 +18,13 @@
 
 use std::time::Instant;
 
-use stems_trace::Trace;
+use stems_trace::{SyncPolicy, Trace};
 use stems_workloads::Workload;
 
 use crate::figs;
-use crate::runner::{run_coverage, session_builder, system_config, Predictor, Settings};
+use crate::runner::{
+    replay_coverage, run_coverage, session_builder, system_config, Predictor, Settings,
+};
 
 /// One measured quantity in the report.
 #[derive(Clone, Debug)]
@@ -96,6 +98,41 @@ pub fn batch_throughput(
     trace.len() as f64 / best
 }
 
+/// Times streaming replay of `workload`'s persisted store through the
+/// no-op predictor (so the number isolates decode + cache simulation,
+/// not predictor work), returning accesses per second. The store is
+/// written to a temp file for the measurement and removed afterwards.
+pub fn trace_replay_throughput(
+    workload: Workload,
+    trace: &Trace,
+    settings: Settings,
+    reps: usize,
+) -> f64 {
+    let sys = system_config(settings.scale);
+    let path = std::env::temp_dir().join(format!(
+        "stems_bench_{}_{}.stems",
+        std::process::id(),
+        workload.name().to_ascii_lowercase()
+    ));
+    let mut writer = stems_trace::TraceWriter::create(&path)
+        .expect("create bench store in temp dir")
+        .with_sync_policy(SyncPolicy::Never);
+    writer
+        .write_accesses(trace.as_slice())
+        .and_then(|_| writer.finish())
+        .expect("persist bench trace");
+    drop(writer);
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let (result, secs) = time(|| replay_coverage(workload, Predictor::None, &path, &sys));
+        let (_, fed) = result.expect("replay the store just written");
+        assert_eq!(fed, trace.len() as u64, "replay must feed the whole trace");
+        best = best.min(secs);
+    }
+    let _ = std::fs::remove_file(&path);
+    trace.len() as f64 / best
+}
+
 /// Runs the full self-timing suite and returns the measurements.
 pub fn run(settings: Settings) -> Vec<Measurement> {
     let mut out = Vec::new();
@@ -128,6 +165,15 @@ pub fn run(settings: Settings) -> Vec<Measurement> {
                 unit: "accesses_per_sec",
             });
         }
+        // Streaming replay from the persisted store (PR 7): the same
+        // trace decoded frame-by-frame from disk, so the trajectory
+        // catches codec regressions separately from predictor ones.
+        let rate = trace_replay_throughput(w, &trace, settings, reps);
+        out.push(Measurement {
+            name: format!("trace_replay_throughput/{}", w.name()),
+            value: rate,
+            unit: "accesses_per_sec",
+        });
         // PST probe pressure (PR 6): one deterministic STeMS run per
         // workload, reporting key probes issued against the pattern
         // sequence table per simulated access — the hot-path quantity
@@ -292,7 +338,9 @@ pub fn check_regressions_with(
 ) -> Vec<RegressionLine> {
     let mut out = Vec::new();
     for (name, base) in baseline {
-        let gated = name.starts_with("step_throughput/") || name.starts_with("batch_throughput/");
+        let gated = name.starts_with("step_throughput/")
+            || name.starts_with("batch_throughput/")
+            || name.starts_with("trace_replay_throughput/");
         if !gated || *base <= 0.0 {
             continue;
         }
@@ -455,6 +503,30 @@ mod tests {
         assert!(lines[1].failed);
         assert!((lines[1].slowdown - 1000.0 / 300.0).abs() < 1e-9);
         assert!(lines[2].failed, "batch_throughput rows must be gated");
+    }
+
+    #[test]
+    fn trace_replay_rows_are_gated() {
+        let baseline = vec![("trace_replay_throughput/DB2".to_string(), 1000.0)];
+        let slow = vec![("trace_replay_throughput/DB2".to_string(), 200.0)];
+        let lines = check_regressions(&baseline, &slow, 2.5);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].failed, "a 5x replay slowdown must trip the gate");
+    }
+
+    #[test]
+    fn trace_replay_throughput_round_trips_and_cleans_up() {
+        let settings = Settings {
+            scale: 0.002,
+            seed: 1,
+            ..Settings::default()
+        };
+        let trace = Workload::Db2.generate_scaled(settings.scale, settings.seed);
+        let rate = trace_replay_throughput(Workload::Db2, &trace, settings, 1);
+        assert!(rate > 0.0);
+        let leftover =
+            std::env::temp_dir().join(format!("stems_bench_{}_db2.stems", std::process::id()));
+        assert!(!leftover.exists(), "bench must remove its temp store");
     }
 
     #[test]

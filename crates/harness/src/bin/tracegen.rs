@@ -1,17 +1,31 @@
-//! Trace capture utility: generates a workload trace and writes it in the
-//! binary trace format, or prints statistics of an existing trace file.
+//! Trace corpus utility: capture workload traces into the persistent
+//! chunked store, inspect them, replay them through a session, and
+//! verify the capture→replay round trip against the in-memory path.
 //!
 //! ```sh
-//! tracegen capture db2 /tmp/db2.trace --scale 0.1 --seed 7
-//! tracegen info /tmp/db2.trace
+//! tracegen capture db2 /tmp/db2.stems --scale 0.1 --seed 7
+//! tracegen capture-all /tmp/corpus --scale 0.1
+//! tracegen info /tmp/db2.stems
+//! tracegen replay /tmp/db2.stems --workload db2 --predictor STeMS
+//! tracegen verify db2 /tmp/db2.stems --scale 0.1 --seed 7
 //! ```
+//!
+//! `capture` writes the chunked store format (`docs/TRACE_FORMAT.md`);
+//! `info` auto-detects a legacy `STEMSTR1` blob and reads that too.
+//! `verify` is the round-trip oracle used by CI: every predictor's
+//! counters from streaming replay must equal the in-memory run's.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, Read};
+use std::path::Path;
 use std::process::ExitCode;
 
-use stems_trace::{read_trace, write_trace};
-use stems_workloads::Workload;
+use stems_core::engine::Counters;
+use stems_harness::runner::{replay_coverage, run_coverage, system_config, Predictor};
+use stems_harness::{parallel_map, Settings};
+use stems_trace::store::SyncPolicy;
+use stems_trace::{read_trace, TraceReader, TraceStats};
+use stems_workloads::{capture_to_path, trace_file_name, Workload};
 
 fn workload_by_name(name: &str) -> Option<Workload> {
     Workload::all()
@@ -19,57 +33,228 @@ fn workload_by_name(name: &str) -> Option<Workload> {
         .find(|w| w.name().eq_ignore_ascii_case(name))
 }
 
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tracegen capture <workload> <file> [--scale f] [--seed n] [--sync-every-frame]"
+    );
+    eprintln!("       tracegen capture-all <dir> [--scale f] [--seed n] [--threads n]");
+    eprintln!("       tracegen info <file>");
+    eprintln!("       tracegen replay <file> --workload <w> [--predictor <p>] [--scale f]");
+    eprintln!("       tracegen verify <workload> <file> [--scale f] [--seed n]");
+    ExitCode::FAILURE
+}
+
+fn counters_row(label: &str, c: &Counters) {
+    println!(
+        "{label:<10} accesses {:>9} reads {:>9} covered {:>8} uncovered {:>8} overpred {:>8} fetches {:>8}",
+        c.accesses, c.reads, c.covered, c.uncovered, c.overpredictions, c.fetches
+    );
+}
+
+fn capture(args: &[String]) -> ExitCode {
+    let Some(workload) = workload_by_name(&args[0]) else {
+        eprintln!(
+            "unknown workload {:?}; expected one of {}",
+            args[0],
+            Workload::all().map(|w| w.name()).join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let settings = Settings::from_args(args[2..].iter().cloned());
+    let sync = if args.iter().any(|a| a == "--sync-every-frame") {
+        SyncPolicy::EveryFrame
+    } else {
+        SyncPolicy::OnFinish
+    };
+    match capture_to_path(workload, settings.scale, settings.seed, &args[1], sync) {
+        Ok(summary) => {
+            println!(
+                "{}: {} records in {} frames (scale {}, seed {})",
+                args[1], summary.records, summary.frames, settings.scale, settings.seed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("capture failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn capture_all(args: &[String]) -> ExitCode {
+    let dir = Path::new(&args[0]);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let settings = Settings::from_args(args[1..].iter().cloned());
+    let workloads = Workload::all();
+    let results = parallel_map(&workloads, settings.effective_threads(), |w| {
+        let path = dir.join(trace_file_name(*w));
+        capture_to_path(
+            *w,
+            settings.scale,
+            settings.seed,
+            &path,
+            SyncPolicy::OnFinish,
+        )
+        .map(|s| (path, s))
+    });
+    let mut failed = false;
+    for (w, result) in workloads.iter().zip(results) {
+        match result {
+            Ok((path, summary)) => println!(
+                "{:<8} {} records / {} frames -> {}",
+                w.name(),
+                summary.records,
+                summary.frames,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("{}: capture failed: {e}", w.name());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn info(path: &str) -> ExitCode {
+    // Auto-detect: chunked store vs legacy blob by magic.
+    let mut magic = [0u8; 8];
+    match File::open(path) {
+        Ok(mut f) => {
+            if f.read(&mut magic).unwrap_or(0) < 8 {
+                eprintln!("{path}: too short to be a trace");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if &magic == b"STEMSTR1" {
+        let file = File::open(path).expect("reopen just-opened file");
+        return match read_trace(BufReader::new(file)) {
+            Ok(trace) => {
+                println!("{path} (legacy blob): {}", trace.stats());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("not a valid trace: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match TraceReader::open(path) {
+        Ok(mut reader) => match TraceStats::from_reader(&mut reader) {
+            Ok(stats) => {
+                println!("{path}: {} ({} frames)", stats, reader.frames_read());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("store damaged: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("not a valid trace store: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let path = &args[0];
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let Some(workload) = arg_after("--workload").and_then(|n| workload_by_name(n)) else {
+        eprintln!("replay needs --workload <name> (selects prefetch config + invalidation rate)");
+        return ExitCode::FAILURE;
+    };
+    let predictor = match arg_after("--predictor") {
+        Some(name) => match name.parse::<Predictor>() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Predictor::Stems,
+    };
+    let settings = Settings::from_args(args[1..].iter().cloned());
+    let sys = system_config(settings.scale);
+    match replay_coverage(workload, predictor, path, &sys) {
+        Ok((counters, fed)) => {
+            println!("{path}: replayed {fed} accesses through {predictor}");
+            counters_row(predictor.name(), &counters);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn verify(args: &[String]) -> ExitCode {
+    let Some(workload) = workload_by_name(&args[0]) else {
+        eprintln!("unknown workload {:?}", args[0]);
+        return ExitCode::FAILURE;
+    };
+    let path = &args[1];
+    let settings = Settings::from_args(args[2..].iter().cloned());
+    let sys = system_config(settings.scale);
+    let trace = workload.generate_scaled(settings.scale, settings.seed);
+    let mut failed = false;
+    for p in Predictor::all() {
+        let expected = run_coverage(workload, p, &trace, &sys);
+        match replay_coverage(workload, p, path, &sys) {
+            Ok((replayed, fed)) => {
+                if replayed == expected && fed == trace.len() as u64 {
+                    println!("{:<8} OK ({} accesses, counters identical)", p.name(), fed);
+                } else {
+                    eprintln!(
+                        "{:<8} MISMATCH: replay {:?} (fed {fed}) vs in-memory {:?} ({} accesses)",
+                        p.name(),
+                        replayed,
+                        expected,
+                        trace.len()
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("{:<8} replay failed: {e}", p.name());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("verify FAILED: the store does not reproduce the in-memory run");
+        ExitCode::FAILURE
+    } else {
+        println!("verify OK: capture -> replay reproduces every predictor byte-identically");
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("capture") if args.len() >= 3 => {
-            let Some(workload) = workload_by_name(&args[1]) else {
-                eprintln!(
-                    "unknown workload {:?}; expected one of {}",
-                    args[1],
-                    Workload::all().map(|w| w.name()).join(", ")
-                );
-                return ExitCode::FAILURE;
-            };
-            let settings = stems_harness::Settings::from_args(args[3..].iter().cloned());
-            let trace = workload.generate_scaled(settings.scale, settings.seed);
-            let file = match File::create(&args[2]) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("cannot create {}: {e}", args[2]);
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Err(e) = write_trace(BufWriter::new(file), &trace) {
-                eprintln!("write failed: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!("{}: {}", args[2], trace.stats());
-            ExitCode::SUCCESS
-        }
-        Some("info") if args.len() >= 2 => {
-            let file = match File::open(&args[1]) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("cannot open {}: {e}", args[1]);
-                    return ExitCode::FAILURE;
-                }
-            };
-            match read_trace(BufReader::new(file)) {
-                Ok(trace) => {
-                    println!("{}: {}", args[1], trace.stats());
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("not a valid trace: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        _ => {
-            eprintln!("usage: tracegen capture <workload> <file> [--scale f] [--seed n]");
-            eprintln!("       tracegen info <file>");
-            ExitCode::FAILURE
-        }
+        Some("capture") if args.len() >= 3 => capture(&args[1..]),
+        Some("capture-all") if args.len() >= 2 => capture_all(&args[1..]),
+        Some("info") if args.len() >= 2 => info(&args[1]),
+        Some("replay") if args.len() >= 2 => replay(&args[1..]),
+        Some("verify") if args.len() >= 3 => verify(&args[1..]),
+        _ => usage(),
     }
 }

@@ -473,6 +473,7 @@ mod tests {
             scale: 0.004,
             seed: 3,
             threads: 1,
+            ..Settings::default()
         };
         let parallel = Settings {
             threads: 7,

@@ -14,6 +14,6 @@ pub mod stats;
 
 pub use render::{pct, pct_signed, Table};
 pub use runner::{
-    parallel_map, per_workload, per_workload_predictor, prefetch_config, run_coverage, run_timing,
-    session_builder, Predictor, Settings,
+    load_trace, parallel_map, per_workload, per_workload_predictor, prefetch_config,
+    replay_coverage, run_coverage, run_timing, session_builder, Predictor, Settings,
 };

@@ -1,10 +1,12 @@
 //! Experiment plumbing: session construction and per-workload runs.
 
+use std::path::Path;
+
 use stems_core::engine::Counters;
 use stems_core::{PrefetchConfig, Session, SessionBuilder};
 use stems_memsim::SystemConfig;
 use stems_timing::{SessionTiming, TimingParams, TimingReport};
-use stems_trace::Trace;
+use stems_trace::{Trace, TraceReader, TraceStoreError};
 use stems_workloads::Workload;
 
 // The predictor registry lives in the core session API now; re-exported
@@ -21,6 +23,12 @@ pub struct Settings {
     pub seed: u64,
     /// Worker threads for sharding experiment cells (0 = all cores).
     pub threads: usize,
+    /// When set, workload traces are replayed from captured store files
+    /// in this directory (`<dir>/<workload>.stems`, as written by
+    /// `tracegen capture-all`) instead of being regenerated. Kept as a
+    /// leaked `&'static str` so `Settings` stays `Copy` across the
+    /// whole harness; the leak is one CLI argument per process.
+    pub trace_dir: Option<&'static str>,
 }
 
 impl Default for Settings {
@@ -29,13 +37,15 @@ impl Default for Settings {
             scale: 1.0,
             seed: 2009,
             threads: 0,
+            trace_dir: None,
         }
     }
 }
 
 impl Settings {
-    /// Parses `--scale <f>`, `--seed <n>`, and `--threads <n>` from an
-    /// argument list; unknown arguments are ignored.
+    /// Parses `--scale <f>`, `--seed <n>`, `--threads <n>`, and
+    /// `--trace-dir <dir>` from an argument list; unknown arguments are
+    /// ignored.
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut s = Settings::default();
         let args: Vec<String> = args.into_iter().collect();
@@ -54,6 +64,11 @@ impl Settings {
                 "--threads" => {
                     if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
                         s.threads = v;
+                    }
+                }
+                "--trace-dir" => {
+                    if let Some(v) = args.get(i + 1) {
+                        s.trace_dir = Some(Box::leak(v.clone().into_boxed_str()));
                     }
                 }
                 _ => {}
@@ -202,13 +217,56 @@ pub fn run_timing(
         .run(trace)
 }
 
-/// Generates every workload's trace in parallel, preserving order.
+/// Loads one workload's trace for `settings`: from the captured store
+/// file under `--trace-dir` when set (see `tracegen capture-all`),
+/// otherwise by running the generator. Figure code needs random access
+/// to the whole trace, so store files are materialized here; streaming
+/// replay for coverage runs is [`replay_coverage`].
+pub fn load_trace(workload: Workload, settings: Settings) -> Trace {
+    match settings.trace_dir {
+        Some(dir) => {
+            let path = Path::new(dir).join(stems_workloads::trace_file_name(workload));
+            TraceReader::open(&path)
+                .and_then(TraceReader::read_to_trace)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "cannot replay {workload} from {}: {e}\n\
+                         (capture the corpus first: tracegen capture-all {dir} \
+                         --scale {} --seed {})",
+                        path.display(),
+                        settings.scale,
+                        settings.seed
+                    )
+                })
+        }
+        None => workload.generate_scaled(settings.scale, settings.seed),
+    }
+}
+
+/// Generates (or, under `--trace-dir`, replays) every workload's trace
+/// in parallel, preserving order.
 pub fn generate_traces(settings: Settings) -> Vec<(Workload, Trace)> {
     let workloads = Workload::all();
     let traces = parallel_map(&workloads, settings.effective_threads(), |w| {
-        w.generate_scaled(settings.scale, settings.seed)
+        load_trace(*w, settings)
     });
     workloads.into_iter().zip(traces).collect()
+}
+
+/// Streams a captured trace store through `predictor` with `workload`'s
+/// standard session (config + invalidation injection) and returns the
+/// finalized counters plus the number of accesses replayed. Memory
+/// stays O(frame): the file is never materialized.
+pub fn replay_coverage<P: AsRef<Path>>(
+    workload: Workload,
+    predictor: Predictor,
+    path: P,
+    sys: &SystemConfig,
+) -> Result<(Counters, u64), TraceStoreError> {
+    let mut reader = TraceReader::open(path)?;
+    let mut session = session_builder(workload, predictor, sys).build();
+    let fed = session.replay(&mut reader)?;
+    Ok((session.finalize(), fed))
 }
 
 /// Runs `f` for every workload in parallel, preserving order.
@@ -287,6 +345,7 @@ mod tests {
             scale: 0.002,
             seed: 1,
             threads: 4,
+            ..Settings::default()
         };
         let predictors = [Predictor::None, Predictor::Stride];
         let results = per_workload_predictor(settings, &predictors, |_, trace, p| (p, trace.len()));
@@ -311,6 +370,7 @@ mod tests {
             scale: 0.002,
             seed: 1,
             threads: 0,
+            ..Settings::default()
         };
         let results = per_workload(settings, |_, trace| trace.len());
         assert_eq!(results.len(), 10);

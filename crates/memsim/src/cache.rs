@@ -350,7 +350,7 @@ impl Cache {
 
     /// Whether `block` is present (no recency update).
     ///
-    /// Unlike [`Cache::find`] this needs no way position, so the
+    /// Unlike `Cache::find` this needs no way position, so the
     /// specialized widths reduce with branch-free ORs: the dominant
     /// caller is the prefetch residency filter, whose answer is usually
     /// "absent" — a short-circuit scan there is a chain of mispredicted

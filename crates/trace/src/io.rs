@@ -1,8 +1,15 @@
-//! Binary trace serialization.
+//! Binary trace serialization (legacy single-blob codec).
 //!
 //! A small fixed-width little-endian codec so traces can be captured once
 //! and replayed across experiments (the paper's methodology collects traces
-//! first and analyzes them repeatedly, Section 5.1). Format:
+//! first and analyzes them repeatedly, Section 5.1).
+//!
+//! This is the v1 format: a global record count followed by fixed
+//! 24-byte records. It cannot be appended to (the count is written
+//! first) and cannot be replayed without materializing the whole trace,
+//! so new captures use the chunked store in [`crate::store`] instead
+//! (see `docs/TRACE_FORMAT.md`); this codec is kept for reading old
+//! fixtures and as the simplest possible interchange blob. Format:
 //!
 //! ```text
 //! magic   [u8; 8]  = b"STEMSTR1"
@@ -22,7 +29,9 @@ use stems_types::{Addr, Pc};
 
 use crate::{Access, AccessKind, Dependence, Trace};
 
-const MAGIC: &[u8; 8] = b"STEMSTR1";
+/// Legacy blob magic (`crate::store` distinguishes the two formats by
+/// these bytes when explaining a [`crate::store::TraceStoreError::BadMagic`]).
+pub(crate) const MAGIC: &[u8; 8] = b"STEMSTR1";
 const RECORD_BYTES: usize = 24;
 
 /// Errors produced by trace (de)serialization.

@@ -11,6 +11,12 @@
 //! only consumed by the timing model; the functional cache simulation and
 //! all trace analyses ignore them.
 //!
+//! Traces live in one of two places: in memory as a [`Trace`], or on
+//! disk in the chunked, append-only store format ([`store`]) that can
+//! be written incrementally and replayed in O(chunk) memory. The legacy
+//! fixed-width blob codec ([`io`]) is kept for old fixtures. The
+//! on-disk layout is specified byte-by-byte in `docs/TRACE_FORMAT.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -26,13 +32,17 @@
 //! assert_eq!(trace.iter().filter(|a| a.kind == AccessKind::Read).count(), 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod io;
 pub mod record;
 pub mod stats;
+pub mod store;
 
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use record::{Access, AccessKind, Dependence};
 pub use stats::TraceStats;
+pub use store::{StoreSummary, SyncPolicy, TraceReader, TraceStoreError, TraceWriter};
 
 use stems_types::{Addr, Pc};
 

@@ -1,8 +1,10 @@
-//! Trace summary statistics.
+//! Trace summary statistics, computable in memory or streaming.
 
 use std::collections::HashSet;
+use std::io::Read;
 
-use crate::{AccessKind, Dependence, Trace};
+use crate::store::{TraceReader, TraceStoreError};
+use crate::{Access, AccessKind, Dependence, Trace};
 
 /// Aggregate statistics over a trace, used to sanity-check workload
 /// generators against the footprints in Table 1.
@@ -22,29 +24,71 @@ pub struct TraceStats {
     pub unique_regions: usize,
 }
 
-impl TraceStats {
-    /// Computes statistics for `trace`.
-    pub fn from_trace(trace: &Trace) -> Self {
-        let mut blocks = HashSet::new();
-        let mut regions = HashSet::new();
-        let mut stats = TraceStats {
-            accesses: trace.len(),
-            ..TraceStats::default()
-        };
-        for a in trace.iter() {
-            match a.kind {
-                AccessKind::Read => stats.reads += 1,
-                AccessKind::Write => stats.writes += 1,
-            }
-            if a.dep == Dependence::OnPrevAccess {
-                stats.dependent += 1;
-            }
-            blocks.insert(a.addr.block());
-            regions.insert(a.addr.region());
+/// Incremental [`TraceStats`] accumulator: feed accesses (or whole
+/// chunks from a streaming [`TraceReader`]) and finish. Memory is
+/// O(unique blocks) for the footprint sets — inherent to the statistic
+/// — never O(trace length).
+#[derive(Clone, Debug, Default)]
+pub struct TraceStatsBuilder {
+    stats: TraceStats,
+    blocks: HashSet<u64>,
+    regions: HashSet<u64>,
+}
+
+impl TraceStatsBuilder {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        TraceStatsBuilder::default()
+    }
+
+    /// Accounts one access.
+    pub fn observe(&mut self, a: &Access) {
+        self.stats.accesses += 1;
+        match a.kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
         }
-        stats.unique_blocks = blocks.len();
-        stats.unique_regions = regions.len();
+        if a.dep == Dependence::OnPrevAccess {
+            self.stats.dependent += 1;
+        }
+        self.blocks.insert(a.addr.block().get());
+        self.regions.insert(a.addr.region().get());
+    }
+
+    /// Accounts a chunk of accesses (the shape [`TraceReader::next_chunk`]
+    /// yields).
+    pub fn observe_chunk(&mut self, chunk: &[Access]) {
+        for a in chunk {
+            self.observe(a);
+        }
+    }
+
+    /// Finalizes the footprint counts and returns the statistics.
+    pub fn finish(self) -> TraceStats {
+        let mut stats = self.stats;
+        stats.unique_blocks = self.blocks.len();
+        stats.unique_regions = self.regions.len();
         stats
+    }
+}
+
+impl TraceStats {
+    /// Computes statistics for an in-memory `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut b = TraceStatsBuilder::new();
+        b.observe_chunk(trace.as_slice());
+        b.finish()
+    }
+
+    /// Computes statistics by streaming the remaining frames of a
+    /// [`TraceReader`] — one frame in memory at a time, so this works
+    /// on stores far larger than RAM.
+    pub fn from_reader<R: Read>(reader: &mut TraceReader<R>) -> Result<Self, TraceStoreError> {
+        let mut b = TraceStatsBuilder::new();
+        while let Some(chunk) = reader.next_chunk()? {
+            b.observe_chunk(chunk);
+        }
+        Ok(b.finish())
     }
 
     /// Approximate data footprint in bytes (unique blocks x 64B).
@@ -107,5 +151,28 @@ mod tests {
         let s = Trace::new().stats();
         assert_eq!(s.accesses, 0);
         assert_eq!(s.read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn streaming_stats_match_in_memory_stats() {
+        let mut t = Trace::new();
+        for i in 0..500u64 {
+            if i % 4 == 0 {
+                t.write(i % 9, (i * 977) % (1 << 20));
+            } else {
+                t.read(i % 9, (i * 977) % (1 << 20));
+            }
+        }
+        let mut buf = Vec::new();
+        {
+            let mut w = crate::store::TraceWriter::new(&mut buf)
+                .unwrap()
+                .with_frame_capacity(37);
+            w.write_accesses(t.as_slice()).unwrap();
+            w.finish().unwrap();
+        }
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let streamed = TraceStats::from_reader(&mut reader).unwrap();
+        assert_eq!(streamed, t.stats());
     }
 }

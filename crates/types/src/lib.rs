@@ -34,6 +34,7 @@ pub mod hash;
 pub mod pattern;
 pub mod sequence;
 pub mod smallvec;
+pub mod varint;
 
 pub use addr::{Addr, BlockAddr, BlockOffset, Pc, RegionAddr};
 pub use bitmap::FlatBitmap;

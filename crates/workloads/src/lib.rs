@@ -19,6 +19,7 @@
 //! ```
 
 pub mod build;
+pub mod capture;
 pub mod commercial;
 pub mod dss;
 pub mod sci;
@@ -26,6 +27,7 @@ pub mod sci;
 use stems_trace::Trace;
 
 pub use build::{Interleaver, Visit, VisitAccess};
+pub use capture::{capture_into, capture_to_path, trace_file_name};
 pub use commercial::CommercialParams;
 pub use dss::DssParams;
 pub use sci::{Em3dParams, OceanParams, SparseParams};

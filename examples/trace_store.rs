@@ -1,0 +1,68 @@
+//! Persistent trace store walkthrough: capture a workload trace to
+//! disk, inspect it with streaming stats, then replay it through a
+//! STeMS session in O(frame) memory and check the counters against the
+//! in-memory run.
+//!
+//! ```sh
+//! cargo run --release --example trace_store
+//! ```
+
+use stems::core::{Predictor, PrefetchConfig, Session};
+use stems::memsim::SystemConfig;
+use stems::trace::{TraceReader, TraceStats};
+use stems::workloads::{capture_to_path, trace_file_name, Workload};
+
+fn main() {
+    let workload = Workload::Qry2;
+    let (scale, seed) = (0.01, 42);
+    let path = std::env::temp_dir().join(trace_file_name(workload));
+
+    // 1. Capture: generate the workload and persist it frame-by-frame.
+    //    Durability policy defaults to one fsync at the end of capture.
+    let summary = capture_to_path(
+        workload,
+        scale,
+        seed,
+        &path,
+        stems::trace::store::SyncPolicy::OnFinish,
+    )
+    .expect("capture");
+    println!(
+        "captured {workload} -> {} ({} records, {} frames)",
+        path.display(),
+        summary.records,
+        summary.frames
+    );
+
+    // 2. Inspect: stats stream over the reader; the file is never
+    //    materialized as one Vec.
+    let mut reader = TraceReader::open(&path).expect("open store");
+    let stats = TraceStats::from_reader(&mut reader).expect("stream stats");
+    println!("stats: {stats}");
+
+    // 3. Replay: feed the store through a session chunk-by-chunk. This
+    //    reproduces the in-memory run exactly (see tests/replay.rs for
+    //    the enforced oracle).
+    let sys = SystemConfig::small();
+    let cfg = PrefetchConfig::commercial();
+    let mut session = Session::builder(&sys)
+        .prefetch(&cfg)
+        .predictor(Predictor::Stems)
+        .build();
+    let mut reader = TraceReader::open(&path).expect("reopen store");
+    let fed = session.replay(&mut reader).expect("replay");
+    let counters = session.finalize();
+    println!(
+        "replayed {fed} accesses: covered {}, uncovered {}, fetches {}",
+        counters.covered, counters.uncovered, counters.fetches
+    );
+
+    let in_memory = Session::builder(&sys)
+        .prefetch(&cfg)
+        .predictor(Predictor::Stems)
+        .run(&workload.generate_scaled(scale, seed));
+    assert_eq!(counters, in_memory, "replay must match the in-memory run");
+    println!("replay matches the in-memory run");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,124 @@
+//! End-to-end oracle for the persistent trace store: generate →
+//! persist → stream-replay must reproduce the in-memory run's counters
+//! byte-for-byte, for every predictor, under both golden system
+//! configurations (the default small geometry and the cache-pressure
+//! geometry used by the engine's golden-counter tests).
+
+use stems::core::session::{Predictor, Session};
+use stems::core::PrefetchConfig;
+use stems::memsim::{CacheConfig, SystemConfig};
+use stems::trace::store::SyncPolicy;
+use stems::trace::{Trace, TraceReader, TraceWriter};
+use stems::workloads::Workload;
+
+/// The two golden configurations: the small default geometry and the
+/// 1KB-L1/16KB-L2 pressure geometry, each with its invalidation
+/// injection, mirroring the engine's golden-counter tests.
+fn golden_configs() -> [(SystemConfig, PrefetchConfig, (f64, u64)); 2] {
+    let pressure = SystemConfig {
+        l1: CacheConfig {
+            size_bytes: 1024,
+            associativity: 2,
+        },
+        l2: CacheConfig {
+            size_bytes: 16 * 1024,
+            associativity: 4,
+        },
+        ..SystemConfig::default()
+    };
+    [
+        (SystemConfig::small(), PrefetchConfig::small(), (0.01, 42)),
+        (pressure, PrefetchConfig::small(), (0.02, 7)),
+    ]
+}
+
+fn persist(trace: &Trace, frame_capacity: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::new(&mut buf)
+        .expect("write header")
+        .with_frame_capacity(frame_capacity);
+    w.write_accesses(trace.as_slice()).expect("encode");
+    w.finish().expect("finish");
+    drop(w);
+    buf
+}
+
+#[test]
+fn replay_matches_in_memory_for_both_golden_configs() {
+    let trace = Workload::Db2.generate_scaled(0.004, 11);
+    assert!(trace.len() > 500, "need a non-trivial trace");
+    let bytes = persist(&trace, 97);
+    for (ci, (sys, cfg, inval)) in golden_configs().iter().enumerate() {
+        for p in Predictor::all() {
+            let expected = Session::builder(sys)
+                .prefetch(cfg)
+                .predictor(p)
+                .invalidations(inval.0, inval.1)
+                .run(&trace);
+            let mut session = Session::builder(sys)
+                .prefetch(cfg)
+                .predictor(p)
+                .invalidations(inval.0, inval.1)
+                .build();
+            let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+            let fed = session.replay(&mut reader).expect("stream");
+            assert_eq!(fed, trace.len() as u64);
+            assert_eq!(
+                session.finalize(),
+                expected,
+                "config {ci}, predictor {}: replayed counters drifted",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_streams_in_frame_sized_chunks() {
+    // The O(chunk) claim, observed from the outside: every chunk the
+    // reader yields is bounded by the writer's frame capacity, so a
+    // replay loop never holds more than one frame of decoded records.
+    let trace = Workload::Em3d.generate_scaled(0.002, 5);
+    let capacity = 64;
+    let bytes = persist(&trace, capacity);
+    let mut reader = TraceReader::new(bytes.as_slice()).expect("header");
+    let mut total = 0usize;
+    let mut chunks = 0u64;
+    while let Some(chunk) = reader.next_chunk().expect("stream") {
+        assert!(chunk.len() <= capacity, "chunk exceeds the frame bound");
+        total += chunk.len();
+        chunks += 1;
+    }
+    assert_eq!(total, trace.len());
+    assert_eq!(chunks, (trace.len() as u64).div_ceil(capacity as u64));
+    assert_eq!(reader.frames_read(), chunks);
+}
+
+#[test]
+fn file_backed_capture_replays_identically() {
+    // Same oracle through the actual filesystem path: capture_to_path →
+    // TraceReader::open, the route tracegen and the harness use.
+    let (workload, scale, seed) = (Workload::Sparse, 0.002, 9);
+    let path = std::env::temp_dir().join(format!("stems_replay_test_{}.stems", std::process::id()));
+    let summary =
+        stems::workloads::capture_to_path(workload, scale, seed, &path, SyncPolicy::EveryFrame)
+            .expect("capture");
+    let trace = workload.generate_scaled(scale, seed);
+    assert_eq!(summary.records, trace.len() as u64);
+    let (sys, cfg, inval) = &golden_configs()[0];
+    let expected = Session::builder(sys)
+        .prefetch(cfg)
+        .predictor(Predictor::Stems)
+        .invalidations(inval.0, inval.1)
+        .run(&trace);
+    let mut session = Session::builder(sys)
+        .prefetch(cfg)
+        .predictor(Predictor::Stems)
+        .invalidations(inval.0, inval.1)
+        .build();
+    let mut reader = TraceReader::open(&path).expect("open");
+    let fed = session.replay(&mut reader).expect("stream");
+    std::fs::remove_file(&path).expect("cleanup");
+    assert_eq!(fed, trace.len() as u64);
+    assert_eq!(session.finalize(), expected);
+}
