@@ -1,0 +1,164 @@
+//! `stems-client` — stream persisted traces to a `stems-serve` daemon.
+//!
+//! ```text
+//! stems-client replay <store-file> --addr HOST:PORT
+//!              [--predictor none|stride|tms|sms|stems|naive]
+//!              [--window N] [--small]
+//!              [--inval-rate R --inval-seed S]
+//! stems-client shutdown --addr HOST:PORT
+//! ```
+//!
+//! `replay` opens one session (paper Table 1 configuration, or the
+//! scaled-down `small()` pair with `--small`), streams the store file
+//! with a bounded in-flight window, closes the session, and prints the
+//! summary counters. Workload-aware replay (per-workload prefetch
+//! configuration and invalidation injection, comparable to `tracegen
+//! verify`) lives in `tracegen replay --remote`.
+//!
+//! `shutdown` drains the server: every open session is finalized, its
+//! summary printed, and the daemon exits 0.
+
+use std::process::ExitCode;
+
+use stems_client::Client;
+use stems_core::protocol::{OpenRequest, SessionSummary};
+use stems_core::{Counters, Predictor, PrefetchConfig};
+use stems_memsim::SystemConfig;
+use stems_trace::TraceReader;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: stems-client replay <store-file> --addr HOST:PORT [--predictor p]");
+    eprintln!("                    [--window N] [--small] [--inval-rate R --inval-seed S]");
+    eprintln!("       stems-client shutdown --addr HOST:PORT");
+    ExitCode::FAILURE
+}
+
+fn counters_row(label: &str, c: &Counters) {
+    println!(
+        "{label:<10} accesses {:>9} reads {:>9} covered {:>8} uncovered {:>8} overpred {:>8} fetches {:>8}",
+        c.accesses, c.reads, c.covered, c.uncovered, c.overpredictions, c.fetches
+    );
+}
+
+fn print_summary(s: &SessionSummary, predictor: &str) {
+    println!("session {}: {} accesses fed", s.session, s.accesses_fed);
+    counters_row(predictor, &s.counters);
+    if let Some(r) = s.recon {
+        println!(
+            "recon: exact {} shifted1 {} shifted2 {} dropped_conflict {} dropped_window {}",
+            r.exact, r.shifted1, r.shifted2, r.dropped_conflict, r.dropped_window
+        );
+    }
+    if let Some(p) = s.pst_probes {
+        println!("pst probes: {p}");
+    }
+}
+
+fn arg_after<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("replay") if args.len() >= 2 => replay(&args[1..]),
+        Some("shutdown") => shutdown(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let path = &args[0];
+    let Some(addr) = arg_after(args, "--addr") else {
+        eprintln!("replay needs --addr HOST:PORT");
+        return usage();
+    };
+    let predictor = match arg_after(args, "--predictor") {
+        Some(name) => match name.parse::<Predictor>() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Predictor::Stems,
+    };
+    let window: usize = arg_after(args, "--window")
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(4);
+    let small = args.iter().any(|a| a == "--small");
+    let invalidations = match (
+        arg_after(args, "--inval-rate").and_then(|r| r.parse::<f64>().ok()),
+        arg_after(args, "--inval-seed").and_then(|s| s.parse::<u64>().ok()),
+    ) {
+        (Some(rate), Some(seed)) => Some((rate, seed)),
+        (Some(rate), None) => Some((rate, 0xC0FFEE)),
+        _ => None,
+    };
+    let open = OpenRequest {
+        system: if small {
+            SystemConfig::small()
+        } else {
+            SystemConfig::default()
+        },
+        prefetch: if small {
+            PrefetchConfig::small()
+        } else {
+            PrefetchConfig::default()
+        },
+        predictor,
+        invalidations,
+    };
+
+    let mut reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut run = || -> Result<(u64, SessionSummary), stems_client::ClientError> {
+        let mut client = Client::connect(addr)?;
+        let session = client.open(&open)?;
+        let (fed, _) = client.stream(session, &mut reader, window)?;
+        let summary = client.close(session)?;
+        Ok((fed, summary))
+    };
+    match run() {
+        Ok((fed, summary)) => {
+            println!("{path}: streamed {fed} accesses to {addr} through {predictor}");
+            print_summary(&summary, predictor.name());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn shutdown(args: &[String]) -> ExitCode {
+    let Some(addr) = arg_after(args, "--addr") else {
+        eprintln!("shutdown needs --addr HOST:PORT");
+        return usage();
+    };
+    let run = || -> Result<Vec<SessionSummary>, stems_client::ClientError> {
+        let mut client = Client::connect(addr)?;
+        client.shutdown_server()
+    };
+    match run() {
+        Ok(summaries) => {
+            println!("{addr}: drained {} session(s)", summaries.len());
+            for s in &summaries {
+                print_summary(s, "drained");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

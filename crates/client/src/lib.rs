@@ -1,0 +1,287 @@
+//! Client for the trace-streaming session daemon (`stems-server`).
+//!
+//! A [`Client`] is one TCP connection speaking the protocol in
+//! `docs/WIRE_PROTOCOL.md`: open sessions (each with its own tenant
+//! configuration), stream trace chunks into them, read back per-chunk
+//! counter snapshots, and collect end-of-stream summaries. The
+//! streaming path ([`Client::stream`]) pipelines a bounded window of
+//! chunks before reading each snapshot back, so the link stays full
+//! without unbounded in-flight work on either side.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stems_client::Client;
+//! use stems_core::protocol::OpenRequest;
+//! use stems_core::{PrefetchConfig, Predictor};
+//! use stems_memsim::SystemConfig;
+//! use stems_trace::TraceReader;
+//!
+//! let mut client = Client::connect("127.0.0.1:4909").unwrap();
+//! let session = client
+//!     .open(&OpenRequest {
+//!         system: SystemConfig::default(),
+//!         prefetch: PrefetchConfig::default(),
+//!         predictor: Predictor::Stems,
+//!         invalidations: None,
+//!     })
+//!     .unwrap();
+//! let mut reader = TraceReader::open("db2.trace").unwrap();
+//! let (fed, _last) = client.stream(session, &mut reader, 4).unwrap();
+//! let summary = client.close(session).unwrap();
+//! assert_eq!(summary.accesses_fed, fed);
+//! ```
+
+use std::fmt;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use stems_core::protocol::{self, ChunkStats, OpenRequest, Request, Response, SessionSummary};
+use stems_trace::store::TraceStoreError;
+use stems_trace::{Access, TraceReader};
+use stems_types::wire::{self, WireError};
+
+/// Everything that can go wrong on the client side of a connection.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing or transport failure.
+    Wire(WireError),
+    /// The server answered with a typed `Error` response.
+    Server {
+        /// The session the server's error concerns, when there is one.
+        session: Option<u32>,
+        /// The server's description.
+        message: String,
+    },
+    /// The server answered with a structurally valid response of the
+    /// wrong kind for the request in flight.
+    UnexpectedResponse {
+        /// What the client was waiting for.
+        expected: &'static str,
+    },
+    /// The server closed the connection while a response was expected.
+    Disconnected,
+    /// Reading the local trace store failed while streaming.
+    Trace(TraceStoreError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server {
+                session: Some(s),
+                message,
+            } => {
+                write!(f, "server error (session {s}): {message}")
+            }
+            ClientError::Server {
+                session: None,
+                message,
+            } => {
+                write!(f, "server error: {message}")
+            }
+            ClientError::UnexpectedResponse { expected } => {
+                write!(f, "unexpected response (expected {expected})")
+            }
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Trace(e) => write!(f, "trace store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            ClientError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+impl From<TraceStoreError> for ClientError {
+    fn from(e: TraceStoreError) -> Self {
+        ClientError::Trace(e)
+    }
+}
+
+/// One connection to a `stems-server` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    payload: Vec<u8>,
+    frame: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and performs the hello exchange.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            payload: Vec::new(),
+            frame: Vec::new(),
+            scratch: Vec::new(),
+        };
+        wire::write_hello(&mut client.writer)?;
+        client.writer.flush()?;
+        wire::read_hello(&mut client.reader)?;
+        Ok(client)
+    }
+
+    /// Applies read/write timeouts to the underlying socket so a dead
+    /// server cannot block the client forever.
+    pub fn set_timeouts(&mut self, read: Duration, write: Duration) -> Result<(), ClientError> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(Some(read)).map_err(WireError::Io)?;
+        stream
+            .set_write_timeout(Some(write))
+            .map_err(WireError::Io)?;
+        Ok(())
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        req.write_to(&mut self.writer, &mut self.frame, &mut self.scratch)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        self.writer.flush()?;
+        match Response::read_from(&mut self.reader, &mut self.payload)? {
+            None => Err(ClientError::Disconnected),
+            Some(resp) => Ok(resp),
+        }
+    }
+
+    /// Opens a session with the given tenant configuration, returning
+    /// the server-assigned session id.
+    pub fn open(&mut self, open: &OpenRequest) -> Result<u32, ClientError> {
+        self.send(&Request::Open(Box::new(open.clone())))?;
+        match self.read_response()? {
+            Response::Opened { session } => Ok(session),
+            Response::Error { session, message } => Err(ClientError::Server { session, message }),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Opened" }),
+        }
+    }
+
+    /// Sends one chunk and waits for its counter snapshot — the
+    /// unpipelined convenience path. [`Client::stream`] keeps a window
+    /// in flight instead.
+    pub fn send_chunk(
+        &mut self,
+        session: u32,
+        records: &[Access],
+    ) -> Result<ChunkStats, ClientError> {
+        self.write_chunk(session, records)?;
+        self.read_stats()
+    }
+
+    /// Queues one chunk without waiting for its snapshot. Pair with
+    /// [`Client::read_stats`]; at most one snapshot is owed per queued
+    /// chunk.
+    pub fn write_chunk(&mut self, session: u32, records: &[Access]) -> Result<(), ClientError> {
+        self.frame.clear();
+        protocol::encode_chunk(&mut self.frame, &mut self.scratch, session, records);
+        self.writer.write_all(&self.frame)?;
+        Ok(())
+    }
+
+    /// Reads one owed counter snapshot (flushing queued chunks first).
+    pub fn read_stats(&mut self) -> Result<ChunkStats, ClientError> {
+        match self.read_response()? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { session, message } => Err(ClientError::Server { session, message }),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Stats" }),
+        }
+    }
+
+    /// Streams a whole persisted trace into `session`, keeping up to
+    /// `window` chunks in flight (clamped to at least 1). Returns the
+    /// number of records fed and the last counter snapshot, which
+    /// reflects every record because the final snapshots are drained
+    /// before returning.
+    pub fn stream<R: Read>(
+        &mut self,
+        session: u32,
+        reader: &mut TraceReader<R>,
+        window: usize,
+    ) -> Result<(u64, Option<ChunkStats>), ClientError> {
+        let window = window.max(1);
+        let mut in_flight = 0usize;
+        let mut fed = 0u64;
+        let mut last = None;
+        while let Some(chunk) = reader.next_chunk()? {
+            if in_flight == window {
+                last = Some(self.read_stats()?);
+                in_flight -= 1;
+            }
+            self.write_chunk(session, chunk)?;
+            in_flight += 1;
+            fed += chunk.len() as u64;
+        }
+        while in_flight > 0 {
+            last = Some(self.read_stats()?);
+            in_flight -= 1;
+        }
+        Ok((fed, last))
+    }
+
+    /// Closes a session and returns its finalized summary.
+    pub fn close(&mut self, session: u32) -> Result<SessionSummary, ClientError> {
+        self.send(&Request::Close { session })?;
+        match self.read_response()? {
+            Response::Summary(summary) => Ok(*summary),
+            Response::Error { session, message } => Err(ClientError::Server { session, message }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "Summary",
+            }),
+        }
+    }
+
+    /// Asks the server to drain every open session and exit. Returns
+    /// the drained sessions' summaries (in session-id order).
+    pub fn shutdown_server(&mut self) -> Result<Vec<SessionSummary>, ClientError> {
+        self.send(&Request::Shutdown)?;
+        let mut summaries = Vec::new();
+        loop {
+            match self.read_response()? {
+                Response::Summary(summary) => summaries.push(*summary),
+                Response::ShutdownAck { drained } => {
+                    if drained as usize != summaries.len() {
+                        return Err(ClientError::UnexpectedResponse {
+                            expected: "one summary per drained session",
+                        });
+                    }
+                    return Ok(summaries);
+                }
+                Response::Error { session, message } => {
+                    return Err(ClientError::Server { session, message })
+                }
+                _ => {
+                    return Err(ClientError::UnexpectedResponse {
+                        expected: "Summary or ShutdownAck",
+                    })
+                }
+            }
+        }
+    }
+}

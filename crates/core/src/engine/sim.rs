@@ -696,9 +696,13 @@ mod tests {
             ("TMS", [4088, 3237, 183, 2562, 86, 970, 653, 758, 268, 39]),
             ("SMS", [4088, 3237, 401, 2289, 193, 1095, 574, 813, 303, 39]),
             ("STeMS", [4088, 3237, 183, 2562, 99, 957, 741, 865, 262, 39]),
+            // The TMS+SMS row moved by 4 overpredictions/fetches when the
+            // SVB gained eviction-order fidelity (stale lazy-deletion FIFO
+            // entries can no longer victimize a re-inserted block); every
+            // other row is byte-identical to the pre-fix goldens.
             (
                 "TMS+SMS",
-                [4088, 3237, 183, 2562, 169, 887, 1363, 1577, 242, 39],
+                [4088, 3237, 183, 2562, 169, 887, 1359, 1573, 242, 39],
             ),
         ];
         let golden = golden_rows(&sys(), &cfg(), &golden_trace(), (0.01, 42));

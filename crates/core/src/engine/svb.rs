@@ -21,11 +21,23 @@ pub enum SvbInsert {
 }
 
 /// The streamed value buffer: block tags plus owning-stream tags.
+///
+/// Eviction is FIFO over *residencies*, not over raw insertions: each
+/// admission stamps a unique sequence number into both the index entry
+/// and its FIFO entry, and the capacity-eviction walk only honors a
+/// FIFO entry whose sequence still matches the index. A block that was
+/// consumed ([`Svb::take`]) and later re-inserted gets a fresh
+/// sequence, so the stale lazy-deletion FIFO entry left by the take can
+/// never victimize the re-inserted block nor leak its old stream tag to
+/// the eviction report (the eviction-order fidelity bug the PR 3
+/// residency oracle pinned; see README "Design notes").
 #[derive(Clone, Debug)]
 pub struct Svb {
     capacity: usize,
-    fifo: VecDeque<(BlockAddr, StreamTag)>,
-    index: FxHashMap<BlockAddr, StreamTag>,
+    fifo: VecDeque<(BlockAddr, u64)>,
+    index: FxHashMap<BlockAddr, (StreamTag, u64)>,
+    /// Admission stamp source; unique per [`Svb::try_insert`] admission.
+    next_seq: u64,
     /// Resident blocks per stream tag: lets `flush_tag` skip the index
     /// scan entirely when the victimized stream has nothing in flight —
     /// the common case on every stream start.
@@ -44,6 +56,7 @@ impl Svb {
             capacity,
             fifo: VecDeque::with_capacity(capacity),
             index: fx_map_with_capacity(capacity),
+            next_seq: 0,
             per_tag: [0; 256],
         }
     }
@@ -63,6 +76,12 @@ impl Svb {
         self.index.contains_key(&block)
     }
 
+    /// Resident blocks owned by `tag` (the fast-reject count behind
+    /// [`Svb::flush_tag`]; exposed for tests and diagnostics).
+    pub fn tag_count(&self, tag: StreamTag) -> usize {
+        self.per_tag[tag.0 as usize] as usize
+    }
+
     /// Inserts a prefetched block; returns the FIFO-evicted victim if the
     /// buffer was full. Inserting a resident block is a no-op.
     pub fn insert(&mut self, block: BlockAddr, tag: StreamTag) -> Option<(BlockAddr, StreamTag)> {
@@ -77,34 +96,38 @@ impl Svb {
     /// fetch-residency filter needs that distinction and previously paid
     /// a separate `contains` probe for it.
     ///
-    /// The capacity eviction walks the lazy-deletion FIFO *after* the new
-    /// entry is admitted, which picks the identical victim: the new entry
-    /// sits at the FIFO back behind at least one older resident entry
-    /// (over-capacity guarantees one), and *stale* FIFO entries naming
-    /// the just-inserted block are skipped explicitly — the pre-insert
-    /// walk skipped them because the block was not yet in the index, and
-    /// consulting the index now would wrongly victimize the new entry
-    /// through them.
+    /// The capacity eviction walks the lazy-deletion FIFO *after* the
+    /// new entry is admitted. Each admission carries a unique sequence
+    /// stamp, and the walk only honors a FIFO entry whose stamp still
+    /// matches the index — a stale entry (its block was consumed, and
+    /// possibly re-admitted under a new stamp) is dropped, never
+    /// victimized through. The new entry itself sits at the FIFO back
+    /// behind at least one older resident entry (over-capacity
+    /// guarantees one), so the walk always terminates on a true victim
+    /// and reports that victim's *current* stream tag.
     pub fn try_insert(&mut self, block: BlockAddr, tag: StreamTag) -> SvbInsert {
         use std::collections::hash_map::Entry;
         match self.index.entry(block) {
             Entry::Occupied(_) => SvbInsert::AlreadyResident,
             Entry::Vacant(slot) => {
-                slot.insert(tag);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                slot.insert((tag, seq));
                 self.per_tag[tag.0 as usize] += 1;
-                self.fifo.push_back((block, tag));
+                self.fifo.push_back((block, seq));
                 let mut evicted = None;
                 if self.index.len() > self.capacity {
-                    // Oldest entry still resident (lazy deletion: skip
-                    // stale).
-                    while let Some((b, t)) = self.fifo.pop_front() {
-                        if b == block {
-                            continue; // stale entry for the new block
-                        }
-                        if let Some(vt) = self.index.remove(&b) {
-                            self.per_tag[vt.0 as usize] -= 1;
-                            evicted = Some((b, t));
-                            break;
+                    // Oldest *current* residency: entries whose stamp no
+                    // longer matches the index are lazy-deleted leftovers.
+                    while let Some((b, s)) = self.fifo.pop_front() {
+                        match self.index.get(&b) {
+                            Some(&(vt, vs)) if vs == s => {
+                                self.index.remove(&b);
+                                self.per_tag[vt.0 as usize] -= 1;
+                                evicted = Some((b, vt));
+                                break;
+                            }
+                            _ => continue, // stale: consumed or re-admitted
                         }
                     }
                 }
@@ -115,8 +138,11 @@ impl Svb {
 
     /// Consumes `block` (prefetch hit), returning its stream tag.
     pub fn take(&mut self, block: BlockAddr) -> Option<StreamTag> {
-        // FIFO entry is removed lazily on rotation.
-        let tag = self.index.remove(&block)?;
+        // The FIFO entry stays behind, but its admission stamp dies with
+        // the index entry: a later eviction walk drops it, and a
+        // re-insert of the same block gets a fresh stamp — the stale
+        // entry can never victimize the new residency.
+        let (tag, _seq) = self.index.remove(&block)?;
         self.per_tag[tag.0 as usize] -= 1;
         Some(tag)
     }
@@ -128,7 +154,7 @@ impl Svb {
             return 0;
         }
         let before = self.index.len();
-        self.index.retain(|_, &mut t| t != tag);
+        self.index.retain(|_, &mut (t, _)| t != tag);
         let removed = before - self.index.len();
         debug_assert_eq!(
             removed, self.per_tag[tag.0 as usize] as usize,
@@ -211,9 +237,9 @@ mod tests {
     }
 
     /// `try_insert` must distinguish residency from admission, and its
-    /// post-insert eviction walk must skip a stale FIFO entry naming the
-    /// block being re-inserted (the pre-insert walk skipped it because
-    /// the block was absent from the index).
+    /// post-insert eviction walk must drop a stale FIFO entry naming the
+    /// block being re-inserted (the admission stamp no longer matches)
+    /// instead of victimizing the fresh residency through it.
     #[test]
     fn try_insert_skips_own_stale_entry_in_eviction_walk() {
         let mut s = Svb::new(2);
@@ -242,12 +268,13 @@ mod tests {
     }
 
     /// A naive reimplementation of the SVB with plain `Vec`s and linear
-    /// scans everywhere — no hash index, no `per_tag` fast path — used as
-    /// a differential oracle. It mirrors the production lazy-deletion
-    /// FIFO faithfully, including the pinned corner where a block that
-    /// was consumed and later re-inserted can be victimized through its
-    /// *stale* FIFO entry (reporting the stale tag); see the ROADMAP
-    /// note on SVB eviction-order fidelity.
+    /// scans everywhere — no hash index, no `per_tag` fast path, no
+    /// sequence stamps — used as a differential oracle. Instead of the
+    /// production buffer's lazy stamp-mismatch deletion it repairs the
+    /// FIFO eagerly at insert time (dropping any stale entry naming the
+    /// re-inserted block), which is observably equivalent: in both, a
+    /// capacity eviction victimizes the oldest *current residency* and
+    /// reports that victim's current tag.
     struct SvbModel {
         capacity: usize,
         /// Insertion order, stale entries included (the FIFO).
@@ -269,6 +296,9 @@ mod tests {
             if self.resident.iter().any(|&(rb, _)| rb == block) {
                 return None;
             }
+            // Insert-time FIFO repair: a consumed-then-re-inserted block
+            // must not be reachable through its old entry.
+            self.fifo.retain(|&(fb, _)| fb != block);
             let mut evicted = None;
             if self.resident.len() == self.capacity {
                 while !self.fifo.is_empty() {
@@ -309,30 +339,36 @@ mod tests {
         }
     }
 
-    /// Pins the lazy-deletion corner the residency oracle models: a block
-    /// consumed and re-inserted leaves a stale FIFO entry ahead of its
-    /// fresh one, and a capacity eviction walking the FIFO victimizes the
-    /// re-inserted block through the stale entry, reporting the stale
-    /// tag. Per-tag residency accounting stays exact throughout (it
-    /// decrements the *index* tag); only the reported victim pair
-    /// reflects the stale FIFO view. Recorded in ROADMAP as an open
-    /// eviction-order fidelity question.
+    /// Pins the eviction-order fidelity fix for the lazy-deletion corner
+    /// the residency oracle found (PR 3): a block consumed and
+    /// re-inserted leaves a stale FIFO entry ahead of its fresh one. The
+    /// admission stamp makes that entry dead — a capacity eviction must
+    /// walk past it, victimize the oldest *current* residency instead,
+    /// and report that victim's current tag, never the stale one.
     #[test]
     fn reinserted_block_can_be_victimized_through_stale_fifo_entry() {
         let mut s = Svb::new(3);
         s.insert(b(1), StreamTag(0));
         s.insert(b(2), StreamTag(1));
-        s.take(b(1)); // stale FIFO entry for 1 remains
+        s.take(b(1)); // stale FIFO entry for 1 remains at the front
         s.insert(b(3), StreamTag(2));
         s.insert(b(1), StreamTag(3)); // re-inserted: buffer full again
         let evicted = s.insert(b(4), StreamTag(4));
-        assert_eq!(evicted, Some((b(1), StreamTag(0))), "stale tag reported");
-        assert!(!s.contains(b(1)), "the re-inserted block was victimized");
+        assert_eq!(
+            evicted,
+            Some((b(2), StreamTag(1))),
+            "the oldest current residency is the victim, with its current tag"
+        );
+        assert!(
+            s.contains(b(1)),
+            "the re-inserted block must survive its stale FIFO entry"
+        );
         assert_eq!(
             s.flush_tag(StreamTag(3)),
-            0,
-            "per-tag accounting stayed exact despite the stale victim pair"
+            1,
+            "the re-inserted block is resident under its new tag"
         );
+        assert_eq!(s.flush_tag(StreamTag(0)), 0, "the stale tag owns nothing");
     }
 
     /// Per-tag residency oracle: under random insert / take / flush /

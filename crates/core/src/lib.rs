@@ -52,6 +52,7 @@
 pub mod config;
 pub mod engine;
 pub mod naive;
+pub mod protocol;
 pub mod session;
 pub mod sms;
 pub mod stems;

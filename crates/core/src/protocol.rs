@@ -1,0 +1,817 @@
+//! Typed messages for the trace-streaming session service.
+//!
+//! The framing below these messages (hello, kind byte, length prefix,
+//! CRC-32) lives in `stems_types::wire`; this module defines what the
+//! payloads *mean*: a client opens sessions (each with its own
+//! [`SystemConfig`]/[`PrefetchConfig`]/[`Predictor`]), streams trace
+//! chunks into them, and receives per-chunk counter snapshots plus an
+//! end-of-stream summary. Chunk payloads reuse the trace store's
+//! columnar record codec ([`stems_trace::store::encode_records`]) so a
+//! persisted trace can be streamed to a server without transcoding.
+//! The byte-level spec is `docs/WIRE_PROTOCOL.md`.
+//!
+//! Every decode path returns a typed [`WireError`] on hostile bytes —
+//! unknown kinds, out-of-range config fields, truncated columns — and
+//! never panics.
+//!
+//! # Example
+//!
+//! ```
+//! use stems_core::protocol::{Request, Response, ChunkStats};
+//! use stems_core::{Counters, PrefetchConfig, Predictor};
+//! use stems_memsim::SystemConfig;
+//!
+//! let req = Request::Open(Box::new(stems_core::protocol::OpenRequest {
+//!     system: SystemConfig::small(),
+//!     prefetch: PrefetchConfig::small(),
+//!     predictor: Predictor::Stems,
+//!     invalidations: None,
+//! }));
+//! let mut wire = Vec::new();
+//! let mut scratch = Vec::new();
+//! req.encode(&mut wire, &mut scratch);
+//! let (kind, payload, _) = stems_types::wire::decode_message(&wire).unwrap();
+//! let back = Request::decode(kind, payload).unwrap();
+//! assert!(matches!(back, Request::Open(o) if o.predictor == Predictor::Stems));
+//! ```
+
+use crate::config::PrefetchConfig;
+use crate::engine::Counters;
+use crate::session::Predictor;
+use crate::stems::recon::ReconStats;
+use std::io::{Read, Write};
+use stems_memsim::{CacheConfig, SystemConfig};
+use stems_trace::store::{decode_records, encode_records, MAX_FRAME_RECORDS};
+use stems_trace::Access;
+use stems_types::varint;
+use stems_types::wire::{self, WireError};
+
+/// Message kind: client opens a session.
+pub const KIND_OPEN: u8 = 0x01;
+/// Message kind: client streams a chunk of trace records into a session.
+pub const KIND_CHUNK: u8 = 0x02;
+/// Message kind: client closes a session (server replies with a summary).
+pub const KIND_CLOSE: u8 = 0x03;
+/// Message kind: client asks the server to drain all sessions and exit.
+pub const KIND_SHUTDOWN: u8 = 0x04;
+/// Message kind: server acknowledges an open with the session id.
+pub const KIND_OPENED: u8 = 0x81;
+/// Message kind: server returns a counter snapshot after a chunk.
+pub const KIND_STATS: u8 = 0x82;
+/// Message kind: server returns a session's end-of-stream summary.
+pub const KIND_SUMMARY: u8 = 0x83;
+/// Message kind: server acknowledges a shutdown after draining.
+pub const KIND_SHUTDOWN_ACK: u8 = 0x84;
+/// Message kind: server reports a typed failure.
+pub const KIND_ERROR: u8 = 0x8F;
+
+/// Upper bound accepted for any table-size field in a decoded config.
+/// A corrupt-but-checksummed open request must not drive a giant
+/// allocation when the session is built.
+pub const MAX_CONFIG_ENTRIES: u64 = 1 << 28;
+
+/// Everything a tenant chooses at session-open time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenRequest {
+    /// Cache hierarchy + latency model for this tenant.
+    pub system: SystemConfig,
+    /// Predictor table geometry for this tenant.
+    pub prefetch: PrefetchConfig,
+    /// Which predictor to run.
+    pub predictor: Predictor,
+    /// Optional coherence-invalidation injection `(rate, seed)`.
+    pub invalidations: Option<(f64, u64)>,
+}
+
+/// Per-chunk counter snapshot streamed back after every chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Which session the snapshot describes.
+    pub session: u32,
+    /// Cumulative records fed into the session so far.
+    pub accesses_fed: u64,
+    /// Counter state after the chunk (not finalized).
+    pub counters: Counters,
+}
+
+/// End-of-stream summary returned on close (and per session on drain).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionSummary {
+    /// Which session the summary describes.
+    pub session: u32,
+    /// Total records fed into the session.
+    pub accesses_fed: u64,
+    /// Finalized counters (in-flight prefetches counted as
+    /// overpredictions, exactly like [`crate::Session::finalize`]).
+    pub counters: Counters,
+    /// Reconstruction placement stats, when the predictor was STeMS.
+    pub recon: Option<ReconStats>,
+    /// Total PST key probes, when the predictor was STeMS.
+    pub pst_probes: Option<u64>,
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open a session with the given tenant configuration.
+    Open(Box<OpenRequest>),
+    /// Feed a chunk of records into an open session.
+    Chunk {
+        /// Target session id (from [`Response::Opened`]).
+        session: u32,
+        /// The records, in trace order.
+        records: Vec<Access>,
+    },
+    /// Close a session; the server replies with its [`SessionSummary`].
+    Close {
+        /// Session to close.
+        session: u32,
+    },
+    /// Drain every open session (each produces a summary) and shut the
+    /// server down.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A session was opened.
+    Opened {
+        /// Server-assigned session id, unique per connection lifetime.
+        session: u32,
+    },
+    /// Counter snapshot after a chunk.
+    Stats(ChunkStats),
+    /// End-of-stream summary for a closed (or drained) session.
+    Summary(Box<SessionSummary>),
+    /// Drain finished; the server is about to close the connection.
+    ShutdownAck {
+        /// How many sessions were drained (their summaries precede
+        /// this message).
+        drained: u32,
+    },
+    /// A request failed. The connection stays usable unless the
+    /// failure was a framing error.
+    Error {
+        /// The session the failure concerns, when there is one.
+        session: Option<u32>,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+// --- column helpers -------------------------------------------------
+
+fn read_u64(payload: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, WireError> {
+    let (v, n) = varint::read_u64(&payload[*pos..]).ok_or(WireError::Corrupt(what))?;
+    *pos += n;
+    Ok(v)
+}
+
+fn read_u32(payload: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, WireError> {
+    let v = read_u64(payload, pos, what)?;
+    u32::try_from(v).map_err(|_| WireError::Corrupt(what))
+}
+
+fn read_entries(payload: &[u8], pos: &mut usize, what: &'static str) -> Result<usize, WireError> {
+    let v = read_u64(payload, pos, what)?;
+    if v > MAX_CONFIG_ENTRIES {
+        return Err(WireError::Corrupt("config field out of range"));
+    }
+    Ok(v as usize)
+}
+
+fn read_f64(payload: &[u8], pos: &mut usize, what: &'static str) -> Result<f64, WireError> {
+    Ok(f64::from_bits(read_u64(payload, pos, what)?))
+}
+
+fn write_counters(out: &mut Vec<u8>, c: &Counters) {
+    for v in [
+        c.accesses,
+        c.reads,
+        c.l1_hits,
+        c.l2_hits,
+        c.covered,
+        c.uncovered,
+        c.overpredictions,
+        c.fetches,
+        c.offchip_writes,
+        c.invalidations,
+    ] {
+        varint::write_u64(out, v);
+    }
+}
+
+fn read_counters(payload: &[u8], pos: &mut usize) -> Result<Counters, WireError> {
+    let mut vals = [0u64; 10];
+    for v in &mut vals {
+        *v = read_u64(payload, pos, "truncated counters")?;
+    }
+    Ok(Counters {
+        accesses: vals[0],
+        reads: vals[1],
+        l1_hits: vals[2],
+        l2_hits: vals[3],
+        covered: vals[4],
+        uncovered: vals[5],
+        overpredictions: vals[6],
+        fetches: vals[7],
+        offchip_writes: vals[8],
+        invalidations: vals[9],
+    })
+}
+
+fn write_open(out: &mut Vec<u8>, o: &OpenRequest) {
+    let s = &o.system;
+    for v in [
+        s.l1.size_bytes,
+        s.l1.associativity as u64,
+        s.l2.size_bytes,
+        s.l2.associativity as u64,
+        s.clock_ghz.to_bits(),
+        s.l1_latency,
+        s.l2_latency,
+        s.mem_latency_ns.to_bits(),
+        s.hop_latency_ns.to_bits(),
+        s.nodes as u64,
+        s.rob_entries as u64,
+        s.width as u64,
+        s.mshrs as u64,
+    ] {
+        varint::write_u64(out, v);
+    }
+    let p = &o.prefetch;
+    for v in [
+        p.svb_entries,
+        p.stream_queues,
+        p.lookahead,
+        p.agt_entries,
+        p.pht_entries,
+        p.pst_entries,
+        p.cmob_entries,
+        p.rmob_entries,
+        p.recon_entries,
+        p.recon_search,
+        p.stride_entries,
+        p.stride_degree,
+        p.refill_threshold,
+        p.refill_chunk,
+    ] {
+        varint::write_u64(out, v as u64);
+    }
+    out.push(p.spatial_only_streams as u8);
+    let idx = Predictor::ALL
+        .iter()
+        .position(|k| *k == o.predictor)
+        .expect("predictor not in Predictor::ALL");
+    out.push(idx as u8);
+    match o.invalidations {
+        None => out.push(0),
+        Some((rate, seed)) => {
+            out.push(1);
+            varint::write_u64(out, rate.to_bits());
+            varint::write_u64(out, seed);
+        }
+    }
+}
+
+fn read_open(payload: &[u8], pos: &mut usize) -> Result<OpenRequest, WireError> {
+    const SYS: &str = "truncated system config";
+    const PF: &str = "truncated prefetch config";
+    let system = SystemConfig {
+        l1: CacheConfig {
+            size_bytes: read_u64(payload, pos, SYS)?,
+            associativity: read_entries(payload, pos, SYS)?,
+        },
+        l2: CacheConfig {
+            size_bytes: read_u64(payload, pos, SYS)?,
+            associativity: read_entries(payload, pos, SYS)?,
+        },
+        clock_ghz: read_f64(payload, pos, SYS)?,
+        l1_latency: read_u64(payload, pos, SYS)?,
+        l2_latency: read_u64(payload, pos, SYS)?,
+        mem_latency_ns: read_f64(payload, pos, SYS)?,
+        hop_latency_ns: read_f64(payload, pos, SYS)?,
+        nodes: read_entries(payload, pos, SYS)?,
+        rob_entries: read_entries(payload, pos, SYS)?,
+        width: read_entries(payload, pos, SYS)?,
+        mshrs: read_entries(payload, pos, SYS)?,
+    };
+    let mut pf = [0usize; 14];
+    for v in &mut pf {
+        *v = read_entries(payload, pos, PF)?;
+    }
+    let flags = *payload.get(*pos).ok_or(WireError::Corrupt(PF))?;
+    *pos += 1;
+    if flags > 1 {
+        return Err(WireError::Corrupt("bad spatial_only_streams flag"));
+    }
+    let prefetch = PrefetchConfig {
+        svb_entries: pf[0],
+        stream_queues: pf[1],
+        lookahead: pf[2],
+        agt_entries: pf[3],
+        pht_entries: pf[4],
+        pst_entries: pf[5],
+        cmob_entries: pf[6],
+        rmob_entries: pf[7],
+        recon_entries: pf[8],
+        recon_search: pf[9],
+        stride_entries: pf[10],
+        stride_degree: pf[11],
+        refill_threshold: pf[12],
+        refill_chunk: pf[13],
+        spatial_only_streams: flags == 1,
+    };
+    let pidx = *payload
+        .get(*pos)
+        .ok_or(WireError::Corrupt("truncated predictor"))?;
+    *pos += 1;
+    let predictor = *Predictor::ALL
+        .get(pidx as usize)
+        .ok_or(WireError::Corrupt("unknown predictor index"))?;
+    let inv_flag = *payload
+        .get(*pos)
+        .ok_or(WireError::Corrupt("truncated invalidations"))?;
+    *pos += 1;
+    let invalidations = match inv_flag {
+        0 => None,
+        1 => {
+            let rate = read_f64(payload, pos, "truncated invalidations")?;
+            let seed = read_u64(payload, pos, "truncated invalidations")?;
+            Some((rate, seed))
+        }
+        _ => return Err(WireError::Corrupt("bad invalidations flag")),
+    };
+    Ok(OpenRequest {
+        system,
+        prefetch,
+        predictor,
+        invalidations,
+    })
+}
+
+fn encode_chunk_payload(out: &mut Vec<u8>, session: u32, records: &[Access]) {
+    varint::write_u64(out, session as u64);
+    varint::write_u64(out, records.len() as u64);
+    encode_records(records, out);
+}
+
+/// Appends one complete `Chunk` wire message for borrowed records —
+/// byte-identical to encoding `Request::Chunk` with the same data, but
+/// without cloning the records into an owned `Vec`. This is the
+/// streaming client's hot path: trace-store chunks arrive as borrowed
+/// slices.
+pub fn encode_chunk(out: &mut Vec<u8>, scratch: &mut Vec<u8>, session: u32, records: &[Access]) {
+    scratch.clear();
+    encode_chunk_payload(scratch, session, records);
+    wire::encode_message(out, KIND_CHUNK, scratch);
+}
+
+// --- requests -------------------------------------------------------
+
+impl Request {
+    /// The wire kind byte this request is framed with.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::Open(_) => KIND_OPEN,
+            Request::Chunk { .. } => KIND_CHUNK,
+            Request::Close { .. } => KIND_CLOSE,
+            Request::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    /// Appends this request to `out` as one complete wire message.
+    ///
+    /// `scratch` holds the payload between calls so steady-state
+    /// streaming does not allocate.
+    pub fn encode(&self, out: &mut Vec<u8>, scratch: &mut Vec<u8>) {
+        scratch.clear();
+        match self {
+            Request::Open(o) => write_open(scratch, o),
+            Request::Chunk { session, records } => encode_chunk_payload(scratch, *session, records),
+            Request::Close { session } => varint::write_u64(scratch, *session as u64),
+            Request::Shutdown => {}
+        }
+        wire::encode_message(out, self.kind(), scratch);
+    }
+
+    /// Decodes a request from a verified message payload.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+        let mut pos = 0usize;
+        let req = match kind {
+            KIND_OPEN => Request::Open(Box::new(read_open(payload, &mut pos)?)),
+            KIND_CHUNK => {
+                let session = read_u32(payload, &mut pos, "truncated chunk header")?;
+                let count = read_u32(payload, &mut pos, "truncated chunk header")?;
+                if count as usize > MAX_FRAME_RECORDS {
+                    return Err(WireError::Corrupt("chunk record count out of range"));
+                }
+                let mut records = Vec::new();
+                decode_records(&payload[pos..], count as usize, &mut records)
+                    .map_err(WireError::Corrupt)?;
+                return Ok(Request::Chunk { session, records });
+            }
+            KIND_CLOSE => Request::Close {
+                session: read_u32(payload, &mut pos, "truncated close")?,
+            },
+            KIND_SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownKind { kind: other }),
+        };
+        if pos != payload.len() {
+            return Err(WireError::Corrupt("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+
+    /// Writes this request to a transport as one wire message.
+    pub fn write_to<W: Write>(
+        &self,
+        w: &mut W,
+        frame: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        frame.clear();
+        self.encode(frame, scratch);
+        w.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Reads one request from a transport. `Ok(None)` means the peer
+    /// closed the connection cleanly between messages.
+    pub fn read_from<R: Read>(
+        r: &mut R,
+        payload: &mut Vec<u8>,
+    ) -> Result<Option<Request>, WireError> {
+        match wire::read_message(r, payload)? {
+            None => Ok(None),
+            Some(kind) => Request::decode(kind, payload).map(Some),
+        }
+    }
+}
+
+// --- responses ------------------------------------------------------
+
+impl Response {
+    /// The wire kind byte this response is framed with.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Response::Opened { .. } => KIND_OPENED,
+            Response::Stats(_) => KIND_STATS,
+            Response::Summary(_) => KIND_SUMMARY,
+            Response::ShutdownAck { .. } => KIND_SHUTDOWN_ACK,
+            Response::Error { .. } => KIND_ERROR,
+        }
+    }
+
+    /// Appends this response to `out` as one complete wire message.
+    pub fn encode(&self, out: &mut Vec<u8>, scratch: &mut Vec<u8>) {
+        scratch.clear();
+        match self {
+            Response::Opened { session } => varint::write_u64(scratch, *session as u64),
+            Response::Stats(s) => {
+                varint::write_u64(scratch, s.session as u64);
+                varint::write_u64(scratch, s.accesses_fed);
+                write_counters(scratch, &s.counters);
+            }
+            Response::Summary(s) => {
+                varint::write_u64(scratch, s.session as u64);
+                varint::write_u64(scratch, s.accesses_fed);
+                write_counters(scratch, &s.counters);
+                match s.recon {
+                    None => scratch.push(0),
+                    Some(r) => {
+                        scratch.push(1);
+                        for v in [
+                            r.exact,
+                            r.shifted1,
+                            r.shifted2,
+                            r.dropped_conflict,
+                            r.dropped_window,
+                        ] {
+                            varint::write_u64(scratch, v);
+                        }
+                    }
+                }
+                match s.pst_probes {
+                    None => scratch.push(0),
+                    Some(p) => {
+                        scratch.push(1);
+                        varint::write_u64(scratch, p);
+                    }
+                }
+            }
+            Response::ShutdownAck { drained } => varint::write_u64(scratch, *drained as u64),
+            Response::Error { session, message } => {
+                match session {
+                    None => scratch.push(0),
+                    Some(s) => {
+                        scratch.push(1);
+                        varint::write_u64(scratch, *s as u64);
+                    }
+                }
+                varint::write_u64(scratch, message.len() as u64);
+                scratch.extend_from_slice(message.as_bytes());
+            }
+        }
+        wire::encode_message(out, self.kind(), scratch);
+    }
+
+    /// Decodes a response from a verified message payload.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Response, WireError> {
+        let mut pos = 0usize;
+        let resp = match kind {
+            KIND_OPENED => Response::Opened {
+                session: read_u32(payload, &mut pos, "truncated opened")?,
+            },
+            KIND_STATS => Response::Stats(ChunkStats {
+                session: read_u32(payload, &mut pos, "truncated stats")?,
+                accesses_fed: read_u64(payload, &mut pos, "truncated stats")?,
+                counters: read_counters(payload, &mut pos)?,
+            }),
+            KIND_SUMMARY => {
+                let session = read_u32(payload, &mut pos, "truncated summary")?;
+                let accesses_fed = read_u64(payload, &mut pos, "truncated summary")?;
+                let counters = read_counters(payload, &mut pos)?;
+                let recon_flag = *payload
+                    .get(pos)
+                    .ok_or(WireError::Corrupt("truncated summary"))?;
+                pos += 1;
+                let recon = match recon_flag {
+                    0 => None,
+                    1 => {
+                        let mut vals = [0u64; 5];
+                        for v in &mut vals {
+                            *v = read_u64(payload, &mut pos, "truncated recon stats")?;
+                        }
+                        Some(ReconStats {
+                            exact: vals[0],
+                            shifted1: vals[1],
+                            shifted2: vals[2],
+                            dropped_conflict: vals[3],
+                            dropped_window: vals[4],
+                        })
+                    }
+                    _ => return Err(WireError::Corrupt("bad recon flag")),
+                };
+                let probes_flag = *payload
+                    .get(pos)
+                    .ok_or(WireError::Corrupt("truncated summary"))?;
+                pos += 1;
+                let pst_probes = match probes_flag {
+                    0 => None,
+                    1 => Some(read_u64(payload, &mut pos, "truncated summary")?),
+                    _ => return Err(WireError::Corrupt("bad pst_probes flag")),
+                };
+                Response::Summary(Box::new(SessionSummary {
+                    session,
+                    accesses_fed,
+                    counters,
+                    recon,
+                    pst_probes,
+                }))
+            }
+            KIND_SHUTDOWN_ACK => Response::ShutdownAck {
+                drained: read_u32(payload, &mut pos, "truncated shutdown ack")?,
+            },
+            KIND_ERROR => {
+                let flag = *payload
+                    .get(pos)
+                    .ok_or(WireError::Corrupt("truncated error"))?;
+                pos += 1;
+                let session = match flag {
+                    0 => None,
+                    1 => Some(read_u32(payload, &mut pos, "truncated error")?),
+                    _ => return Err(WireError::Corrupt("bad error session flag")),
+                };
+                let len = read_u64(payload, &mut pos, "truncated error")? as usize;
+                let bytes = payload
+                    .get(pos..pos + len)
+                    .ok_or(WireError::Corrupt("truncated error message"))?;
+                pos += len;
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| WireError::Corrupt("error message is not utf-8"))?;
+                Response::Error { session, message }
+            }
+            other => return Err(WireError::UnknownKind { kind: other }),
+        };
+        if pos != payload.len() {
+            return Err(WireError::Corrupt("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+
+    /// Writes this response to a transport as one wire message.
+    pub fn write_to<W: Write>(
+        &self,
+        w: &mut W,
+        frame: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+    ) -> Result<(), WireError> {
+        frame.clear();
+        self.encode(frame, scratch);
+        w.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Reads one response from a transport. `Ok(None)` means the peer
+    /// closed the connection cleanly between messages.
+    pub fn read_from<R: Read>(
+        r: &mut R,
+        payload: &mut Vec<u8>,
+    ) -> Result<Option<Response>, WireError> {
+        match wire::read_message(r, payload)? {
+            None => Ok(None),
+            Some(kind) => Response::decode(kind, payload).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_types::{Addr, Pc};
+
+    fn sample_open() -> OpenRequest {
+        OpenRequest {
+            system: SystemConfig::small(),
+            prefetch: PrefetchConfig::small(),
+            predictor: Predictor::Tms,
+            invalidations: Some((0.001, 0xC0FFEE)),
+        }
+    }
+
+    fn round_trip_request(req: &Request) -> Request {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        req.encode(&mut out, &mut scratch);
+        let (kind, payload, n) = wire::decode_message(&out).unwrap();
+        assert_eq!(n, out.len());
+        Request::decode(kind, payload).unwrap()
+    }
+
+    fn round_trip_response(resp: &Response) -> Response {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        resp.encode(&mut out, &mut scratch);
+        let (kind, payload, n) = wire::decode_message(&out).unwrap();
+        assert_eq!(n, out.len());
+        Response::decode(kind, payload).unwrap()
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let records: Vec<Access> = (0..100)
+            .map(|i| Access::read(Pc::new(0x400 + i * 4), Addr::new(i * 64 + (1 << 20))))
+            .collect();
+        for req in [
+            Request::Open(Box::new(sample_open())),
+            Request::Chunk {
+                session: 7,
+                records,
+            },
+            Request::Chunk {
+                session: 0,
+                records: Vec::new(),
+            },
+            Request::Close { session: 9 },
+            Request::Shutdown,
+        ] {
+            assert_eq!(round_trip_request(&req), req);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let counters = Counters {
+            accesses: 1,
+            reads: 2,
+            l1_hits: 3,
+            l2_hits: 4,
+            covered: 5,
+            uncovered: 6,
+            overpredictions: 7,
+            fetches: 8,
+            offchip_writes: 9,
+            invalidations: 10,
+        };
+        for resp in [
+            Response::Opened { session: 3 },
+            Response::Stats(ChunkStats {
+                session: 3,
+                accesses_fed: 1234,
+                counters,
+            }),
+            Response::Summary(Box::new(SessionSummary {
+                session: 3,
+                accesses_fed: 1234,
+                counters,
+                recon: Some(ReconStats {
+                    exact: 1,
+                    shifted1: 2,
+                    shifted2: 3,
+                    dropped_conflict: 4,
+                    dropped_window: 5,
+                }),
+                pst_probes: Some(42),
+            })),
+            Response::Summary(Box::new(SessionSummary {
+                session: 4,
+                accesses_fed: 0,
+                counters: Counters::default(),
+                recon: None,
+                pst_probes: None,
+            })),
+            Response::ShutdownAck { drained: 2 },
+            Response::Error {
+                session: Some(1),
+                message: "no such session".into(),
+            },
+            Response::Error {
+                session: None,
+                message: String::new(),
+            },
+        ] {
+            assert_eq!(round_trip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_are_typed_errors() {
+        assert!(matches!(
+            Request::decode(0x77, &[]),
+            Err(WireError::UnknownKind { kind: 0x77 })
+        ));
+        assert!(matches!(
+            Response::decode(0x77, &[]),
+            Err(WireError::UnknownKind { kind: 0x77 })
+        ));
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        Request::Close { session: 1 }.encode(&mut out, &mut scratch);
+        let (kind, payload, _) = wire::decode_message(&out).unwrap();
+        let mut padded = payload.to_vec();
+        padded.push(0);
+        assert!(matches!(
+            Request::decode(kind, &padded),
+            Err(WireError::Corrupt("trailing bytes after request"))
+        ));
+    }
+
+    #[test]
+    fn hostile_open_fields_are_rejected() {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        Request::Open(Box::new(sample_open())).encode(&mut out, &mut scratch);
+        let (_, payload, _) = wire::decode_message(&out).unwrap();
+        // Oversize the first config field (l1.size_bytes is a u64, so
+        // tamper with l1.associativity at the second varint).
+        let mut pos = 0usize;
+        varint::read_u64(payload).map(|(_, n)| pos = n).unwrap();
+        let mut bad = payload[..pos].to_vec();
+        varint::write_u64(&mut bad, MAX_CONFIG_ENTRIES + 1);
+        let skip = varint::read_u64(&payload[pos..]).unwrap().1;
+        bad.extend_from_slice(&payload[pos + skip..]);
+        assert!(matches!(
+            Request::decode(KIND_OPEN, &bad),
+            Err(WireError::Corrupt("config field out of range"))
+        ));
+        // Truncation at every byte boundary is typed, never a panic.
+        for cut in 0..payload.len() {
+            assert!(Request::decode(KIND_OPEN, &payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn chunk_count_binds_the_columns() {
+        let records: Vec<Access> = (0..10)
+            .map(|i| Access::read(Pc::new(0x400), Addr::new(i * 64)))
+            .collect();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        Request::Chunk {
+            session: 1,
+            records,
+        }
+        .encode(&mut out, &mut scratch);
+        let (_, payload, _) = wire::decode_message(&out).unwrap();
+        // Bump the count without extending the columns: typed corrupt.
+        let mut bad = Vec::new();
+        varint::write_u64(&mut bad, 1); // session
+        varint::write_u64(&mut bad, 11); // count, one too many
+        let mut pos = 0;
+        let s = varint::read_u64(payload).unwrap().1;
+        pos += s;
+        pos += varint::read_u64(&payload[pos..]).unwrap().1;
+        bad.extend_from_slice(&payload[pos..]);
+        assert!(Request::decode(KIND_CHUNK, &bad).is_err());
+        // A count past MAX_FRAME_RECORDS is rejected before decoding.
+        let mut huge = Vec::new();
+        varint::write_u64(&mut huge, 1);
+        varint::write_u64(&mut huge, (MAX_FRAME_RECORDS + 1) as u64);
+        assert!(matches!(
+            Request::decode(KIND_CHUNK, &huge),
+            Err(WireError::Corrupt("chunk record count out of range"))
+        ));
+    }
+}

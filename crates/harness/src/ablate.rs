@@ -22,7 +22,7 @@ fn run_stems(
     workload: Workload,
     cfg: &PrefetchConfig,
     trace: &Trace,
-    settings: Settings,
+    settings: &Settings,
 ) -> (Counters, stems_core::stems::ReconStats) {
     let mut session = Session::builder(&system_config(settings.scale))
         .prefetch(cfg)
@@ -34,7 +34,7 @@ fn run_stems(
     (counters, stats)
 }
 
-fn baseline(workload: Workload, trace: &Trace, settings: Settings) -> u64 {
+fn baseline(workload: Workload, trace: &Trace, settings: &Settings) -> u64 {
     Session::builder(&system_config(settings.scale))
         .prefetch(&prefetch_config(workload))
         .invalidations(workload.invalidation_rate(), 7)
@@ -61,7 +61,7 @@ pub fn ablations(settings: Settings) -> String {
     });
     let bases: Vec<u64> = parallel_map(&workloads, threads, |w| {
         let wi = workloads.iter().position(|x| x == w).expect("member");
-        baseline(*w, &traces[wi], settings)
+        baseline(*w, &traces[wi], &settings)
     });
 
     // One flat cell list per (workload, sweep variant), in render order.
@@ -116,7 +116,7 @@ pub fn ablations(settings: Settings) -> String {
         }
     }
     let results = parallel_map(&cells, threads, |(wi, cfg)| {
-        run_stems(workloads[*wi], cfg, &traces[*wi], settings)
+        run_stems(workloads[*wi], cfg, &traces[*wi], &settings)
     });
     let mut results = results.into_iter();
 
@@ -228,14 +228,14 @@ mod tests {
         };
         let w = Workload::Qry2;
         let trace = w.generate_scaled(settings.scale, settings.seed);
-        let base = baseline(w, &trace, settings);
+        let base = baseline(w, &trace, &settings);
         let stock = prefetch_config(w);
-        let (on, _) = run_stems(w, &stock, &trace, settings);
+        let (on, _) = run_stems(w, &stock, &trace, &settings);
         let off_cfg = PrefetchConfig {
             spatial_only_streams: false,
             ..stock
         };
-        let (off, _) = run_stems(w, &off_cfg, &trace, settings);
+        let (off, _) = run_stems(w, &off_cfg, &trace, &settings);
         assert!(
             off.coverage_vs(base) < 0.5 * on.coverage_vs(base),
             "DSS coverage must come from spatial-only streams: on {:.2} off {:.2}",
@@ -255,12 +255,12 @@ mod tests {
         let w = Workload::Db2;
         let trace = w.generate_scaled(settings.scale, settings.seed);
         let stock = prefetch_config(w);
-        let (_, with_search) = run_stems(w, &stock, &trace, settings);
+        let (_, with_search) = run_stems(w, &stock, &trace, &settings);
         let cfg0 = PrefetchConfig {
             recon_search: 0,
             ..stock
         };
-        let (_, no_search) = run_stems(w, &cfg0, &trace, settings);
+        let (_, no_search) = run_stems(w, &cfg0, &trace, &settings);
         assert!(
             with_search.placed_fraction() > no_search.placed_fraction(),
             "±2 search must place more addresses: {:.2} vs {:.2}",

@@ -61,7 +61,7 @@ pub fn step_throughput(
     workload: Workload,
     predictor: Predictor,
     trace: &Trace,
-    settings: Settings,
+    settings: &Settings,
     reps: usize,
 ) -> f64 {
     let sys = system_config(settings.scale);
@@ -86,7 +86,7 @@ pub fn batch_throughput(
     workload: Workload,
     predictor: Predictor,
     trace: &Trace,
-    settings: Settings,
+    settings: &Settings,
     reps: usize,
 ) -> f64 {
     let sys = system_config(settings.scale);
@@ -105,7 +105,7 @@ pub fn batch_throughput(
 pub fn trace_replay_throughput(
     workload: Workload,
     trace: &Trace,
-    settings: Settings,
+    settings: &Settings,
     reps: usize,
 ) -> f64 {
     let sys = system_config(settings.scale);
@@ -133,6 +133,58 @@ pub fn trace_replay_throughput(
     trace.len() as f64 / best
 }
 
+/// Times streaming replay of `workload`'s trace over a **loopback TCP
+/// connection** to an in-process `stems-server`, through the no-op
+/// predictor — [`trace_replay_throughput`]'s wire twin. The delta
+/// between the two rows isolates framing + checksum + socket cost from
+/// store decode + cache simulation, so a protocol regression shows up
+/// here without moving the on-disk replay row.
+pub fn wire_replay_throughput(
+    workload: Workload,
+    trace: &Trace,
+    settings: &Settings,
+    reps: usize,
+) -> f64 {
+    let sys = system_config(settings.scale);
+    let mut store = Vec::new();
+    let mut writer = stems_trace::TraceWriter::new(&mut store).expect("in-memory bench store");
+    writer
+        .write_accesses(trace.as_slice())
+        .and_then(|_| writer.finish())
+        .expect("encode bench trace");
+    drop(writer);
+
+    let server = stems_server::Server::bind("127.0.0.1:0", stems_server::ServerConfig::default())
+        .expect("bind loopback bench server");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut best = f64::MAX;
+    {
+        let mut client = stems_client::Client::connect(addr).expect("connect to bench server");
+        let open = crate::runner::remote_open_request(workload, Predictor::None, &sys);
+        for _ in 0..reps.max(1) {
+            let (fed, secs) = time(|| {
+                let session = client.open(&open).expect("open bench session");
+                let mut reader =
+                    stems_trace::TraceReader::new(store.as_slice()).expect("read bench store");
+                let (fed, _) = client
+                    .stream(session, &mut reader, 4)
+                    .expect("stream bench trace");
+                client.close(session).expect("close bench session");
+                fed
+            });
+            assert_eq!(fed, trace.len() as u64, "stream must feed the whole trace");
+            best = best.min(secs);
+        }
+        client.shutdown_server().expect("drain bench server");
+    }
+    handle
+        .join()
+        .expect("join bench server")
+        .expect("server run");
+    trace.len() as f64 / best
+}
+
 /// Runs the full self-timing suite and returns the measurements.
 pub fn run(settings: Settings) -> Vec<Measurement> {
     let mut out = Vec::new();
@@ -152,13 +204,13 @@ pub fn run(settings: Settings) -> Vec<Measurement> {
             unit: "accesses",
         });
         for p in Predictor::all() {
-            let rate = step_throughput(w, p, &trace, settings, reps);
+            let rate = step_throughput(w, p, &trace, &settings, reps);
             out.push(Measurement {
                 name: format!("step_throughput/{}/{}", w.name(), p.name()),
                 value: rate,
                 unit: "accesses_per_sec",
             });
-            let rate = batch_throughput(w, p, &trace, settings, reps);
+            let rate = batch_throughput(w, p, &trace, &settings, reps);
             out.push(Measurement {
                 name: format!("batch_throughput/{}/{}", w.name(), p.name()),
                 value: rate,
@@ -168,9 +220,17 @@ pub fn run(settings: Settings) -> Vec<Measurement> {
         // Streaming replay from the persisted store (PR 7): the same
         // trace decoded frame-by-frame from disk, so the trajectory
         // catches codec regressions separately from predictor ones.
-        let rate = trace_replay_throughput(w, &trace, settings, reps);
+        let rate = trace_replay_throughput(w, &trace, &settings, reps);
         out.push(Measurement {
             name: format!("trace_replay_throughput/{}", w.name()),
+            value: rate,
+            unit: "accesses_per_sec",
+        });
+        // The same trace pushed through the session service over
+        // loopback TCP (PR 8): decode + framing + checksums + sockets.
+        let rate = wire_replay_throughput(w, &trace, &settings, reps);
+        out.push(Measurement {
+            name: format!("wire_replay_throughput/{}", w.name()),
             value: rate,
             unit: "accesses_per_sec",
         });
@@ -201,7 +261,7 @@ pub fn run(settings: Settings) -> Vec<Measurement> {
         ("naive_hybrid", figs::naive_hybrid),
         ("recon_stats", figs::recon_stats),
     ] {
-        let (_, secs) = time(|| f(settings));
+        let (_, secs) = time(|| f(settings.clone()));
         out.push(Measurement {
             name: format!("figure/{name}/wall"),
             value: secs,
@@ -340,7 +400,8 @@ pub fn check_regressions_with(
     for (name, base) in baseline {
         let gated = name.starts_with("step_throughput/")
             || name.starts_with("batch_throughput/")
-            || name.starts_with("trace_replay_throughput/");
+            || name.starts_with("trace_replay_throughput/")
+            || name.starts_with("wire_replay_throughput/");
         if !gated || *base <= 0.0 {
             continue;
         }
@@ -401,9 +462,9 @@ mod tests {
             ..Settings::default()
         };
         let trace = Workload::Db2.generate_scaled(settings.scale, settings.seed);
-        let rate = step_throughput(Workload::Db2, Predictor::None, &trace, settings, 1);
+        let rate = step_throughput(Workload::Db2, Predictor::None, &trace, &settings, 1);
         assert!(rate > 0.0);
-        let batch = batch_throughput(Workload::Db2, Predictor::None, &trace, settings, 1);
+        let batch = batch_throughput(Workload::Db2, Predictor::None, &trace, &settings, 1);
         assert!(batch > 0.0);
     }
 
@@ -515,6 +576,27 @@ mod tests {
     }
 
     #[test]
+    fn wire_replay_rows_are_gated() {
+        let baseline = vec![("wire_replay_throughput/DB2".to_string(), 1000.0)];
+        let slow = vec![("wire_replay_throughput/DB2".to_string(), 200.0)];
+        let lines = check_regressions(&baseline, &slow, 2.5);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].failed, "a 5x wire slowdown must trip the gate");
+    }
+
+    #[test]
+    fn wire_replay_throughput_round_trips_over_loopback() {
+        let settings = Settings {
+            scale: 0.002,
+            seed: 1,
+            ..Settings::default()
+        };
+        let trace = Workload::Db2.generate_scaled(settings.scale, settings.seed);
+        let rate = wire_replay_throughput(Workload::Db2, &trace, &settings, 1);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
     fn trace_replay_throughput_round_trips_and_cleans_up() {
         let settings = Settings {
             scale: 0.002,
@@ -522,7 +604,7 @@ mod tests {
             ..Settings::default()
         };
         let trace = Workload::Db2.generate_scaled(settings.scale, settings.seed);
-        let rate = trace_replay_throughput(Workload::Db2, &trace, settings, 1);
+        let rate = trace_replay_throughput(Workload::Db2, &trace, &settings, 1);
         assert!(rate > 0.0);
         let leftover =
             std::env::temp_dir().join(format!("stems_bench_{}_db2.stems", std::process::id()));

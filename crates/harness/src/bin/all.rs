@@ -20,6 +20,6 @@ fn main() {
         ("ablations", stems_harness::ablate::ablations),
     ] {
         eprintln!("... {name}");
-        println!("{}", f(settings));
+        println!("{}", f(settings.clone()));
     }
 }

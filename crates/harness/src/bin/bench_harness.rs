@@ -29,7 +29,7 @@ fn main() {
         settings.seed,
         settings.effective_threads()
     );
-    let measurements = bench::run(settings);
+    let measurements = bench::run(settings.clone());
     for m in &measurements {
         eprintln!("  {:<44} {:>16.3} {}", m.name, m.value, m.unit);
     }

@@ -7,6 +7,7 @@
 //! tracegen capture-all /tmp/corpus --scale 0.1
 //! tracegen info /tmp/db2.stems
 //! tracegen replay /tmp/db2.stems --workload db2 --predictor STeMS
+//! tracegen replay /tmp/db2.stems --workload db2 --remote 127.0.0.1:4909
 //! tracegen verify db2 /tmp/db2.stems --scale 0.1 --seed 7
 //! ```
 //!
@@ -14,6 +15,9 @@
 //! `info` auto-detects a legacy `STEMSTR1` blob and reads that too.
 //! `verify` is the round-trip oracle used by CI: every predictor's
 //! counters from streaming replay must equal the in-memory run's.
+//! `replay --remote` streams the store to a running `stems-serve`
+//! daemon instead, using the identical session configuration, so its
+//! counters line up with the local replay row for row-by-row diffing.
 
 use std::fs::File;
 use std::io::{BufReader, Read};
@@ -21,7 +25,9 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use stems_core::engine::Counters;
-use stems_harness::runner::{replay_coverage, run_coverage, system_config, Predictor};
+use stems_harness::runner::{
+    remote_open_request, replay_coverage, run_coverage, system_config, Predictor,
+};
 use stems_harness::{parallel_map, Settings};
 use stems_trace::store::SyncPolicy;
 use stems_trace::{read_trace, TraceReader, TraceStats};
@@ -40,6 +46,7 @@ fn usage() -> ExitCode {
     eprintln!("       tracegen capture-all <dir> [--scale f] [--seed n] [--threads n]");
     eprintln!("       tracegen info <file>");
     eprintln!("       tracegen replay <file> --workload <w> [--predictor <p>] [--scale f]");
+    eprintln!("                       [--remote HOST:PORT [--window n]]");
     eprintln!("       tracegen verify <workload> <file> [--scale f] [--seed n]");
     ExitCode::FAILURE
 }
@@ -192,6 +199,12 @@ fn replay(args: &[String]) -> ExitCode {
     };
     let settings = Settings::from_args(args[1..].iter().cloned());
     let sys = system_config(settings.scale);
+    if let Some(addr) = arg_after("--remote") {
+        let window: usize = arg_after("--window")
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(4);
+        return remote_replay(path, workload, predictor, &sys, addr, window);
+    }
     match replay_coverage(workload, predictor, path, &sys) {
         Ok((counters, fed)) => {
             println!("{path}: replayed {fed} accesses through {predictor}");
@@ -200,6 +213,46 @@ fn replay(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Streams the store to a `stems-serve` daemon with the same workload
+/// session configuration the local path uses (see
+/// `runner::remote_open_request`), so the printed counters line up with
+/// `tracegen replay` and `tracegen verify` for the same file.
+fn remote_replay(
+    path: &str,
+    workload: Workload,
+    predictor: Predictor,
+    sys: &stems_memsim::SystemConfig,
+    addr: &str,
+    window: usize,
+) -> ExitCode {
+    let open = remote_open_request(workload, predictor, sys);
+    let mut reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut run = || -> Result<_, stems_client::ClientError> {
+        let mut client = stems_client::Client::connect(addr)?;
+        let session = client.open(&open)?;
+        let (fed, _) = client.stream(session, &mut reader, window)?;
+        let summary = client.close(session)?;
+        Ok((fed, summary))
+    };
+    match run() {
+        Ok((fed, summary)) => {
+            println!("{path}: streamed {fed} accesses to {addr} through {predictor}");
+            counters_row(predictor.name(), &summary.counters);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("remote replay failed: {e}");
             ExitCode::FAILURE
         }
     }

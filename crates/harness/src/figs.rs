@@ -424,8 +424,9 @@ pub fn naive_hybrid(settings: Settings) -> String {
 
 /// Section 4.3: reconstruction placement accuracy.
 pub fn recon_stats(settings: Settings) -> String {
+    let scale = settings.scale;
     let results = per_workload(settings, |w, trace| {
-        let mut session = stems_core::Session::builder(&system_config(settings.scale))
+        let mut session = stems_core::Session::builder(&system_config(scale))
             .prefetch(&prefetch_config(w))
             .predictor(Predictor::Stems)
             .invalidations(w.invalidation_rate(), 7)
@@ -477,7 +478,7 @@ mod tests {
         };
         let parallel = Settings {
             threads: 7,
-            ..serial
+            ..serial.clone()
         };
         for (name, f) in [
             ("fig6", fig6 as fn(Settings) -> String),
@@ -485,8 +486,8 @@ mod tests {
             ("naive_hybrid", naive_hybrid),
         ] {
             assert_eq!(
-                f(serial),
-                f(parallel),
+                f(serial.clone()),
+                f(parallel.clone()),
                 "{name}: parallel output must match serial byte-for-byte"
             );
         }

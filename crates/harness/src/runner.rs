@@ -15,7 +15,12 @@ pub use stems_core::session::Predictor;
 
 /// Scale/seed/parallelism settings shared by every experiment (parsed
 /// from argv).
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// Cheap to clone: the only non-`Copy` field is the shared `Arc<str>`
+/// behind `--trace-dir` (which used to be a `Box::leak`'d
+/// `&'static str` to keep `Settings: Copy`; repeated parsing no longer
+/// leaks).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Settings {
     /// Footprint scale (1.0 = evaluation size).
     pub scale: f64,
@@ -25,10 +30,8 @@ pub struct Settings {
     pub threads: usize,
     /// When set, workload traces are replayed from captured store files
     /// in this directory (`<dir>/<workload>.stems`, as written by
-    /// `tracegen capture-all`) instead of being regenerated. Kept as a
-    /// leaked `&'static str` so `Settings` stays `Copy` across the
-    /// whole harness; the leak is one CLI argument per process.
-    pub trace_dir: Option<&'static str>,
+    /// `tracegen capture-all`) instead of being regenerated.
+    pub trace_dir: Option<std::sync::Arc<str>>,
 }
 
 impl Default for Settings {
@@ -68,7 +71,7 @@ impl Settings {
                 }
                 "--trace-dir" => {
                     if let Some(v) = args.get(i + 1) {
-                        s.trace_dir = Some(Box::leak(v.clone().into_boxed_str()));
+                        s.trace_dir = Some(std::sync::Arc::from(v.as_str()));
                     }
                 }
                 _ => {}
@@ -194,6 +197,26 @@ pub fn session_builder(
         )
 }
 
+/// The remote twin of [`session_builder`]: the `OpenRequest` that makes
+/// a `stems-server` tenant session configured identically to the local
+/// one, so streamed counters are comparable byte-for-byte. Kept next to
+/// `session_builder` so the two configurations cannot drift apart.
+pub fn remote_open_request(
+    workload: Workload,
+    predictor: Predictor,
+    sys: &SystemConfig,
+) -> stems_core::protocol::OpenRequest {
+    stems_core::protocol::OpenRequest {
+        system: sys.clone(),
+        prefetch: prefetch_config(workload),
+        predictor,
+        invalidations: Some((
+            workload.invalidation_rate(),
+            0xC0FFEE ^ workload.name().len() as u64,
+        )),
+    }
+}
+
 /// Runs `predictor` over `trace` and returns the coverage counters, with
 /// the workload's coherence-invalidation injection enabled.
 pub fn run_coverage(
@@ -222,8 +245,8 @@ pub fn run_timing(
 /// otherwise by running the generator. Figure code needs random access
 /// to the whole trace, so store files are materialized here; streaming
 /// replay for coverage runs is [`replay_coverage`].
-pub fn load_trace(workload: Workload, settings: Settings) -> Trace {
-    match settings.trace_dir {
+pub fn load_trace(workload: Workload, settings: &Settings) -> Trace {
+    match settings.trace_dir.as_deref() {
         Some(dir) => {
             let path = Path::new(dir).join(stems_workloads::trace_file_name(workload));
             TraceReader::open(&path)
@@ -248,7 +271,7 @@ pub fn load_trace(workload: Workload, settings: Settings) -> Trace {
 pub fn generate_traces(settings: Settings) -> Vec<(Workload, Trace)> {
     let workloads = Workload::all();
     let traces = parallel_map(&workloads, settings.effective_threads(), |w| {
-        load_trace(*w, settings)
+        load_trace(*w, &settings)
     });
     workloads.into_iter().zip(traces).collect()
 }
@@ -274,10 +297,9 @@ pub fn per_workload<T: Send>(
     settings: Settings,
     f: impl Fn(Workload, &Trace) -> T + Sync,
 ) -> Vec<(Workload, T)> {
+    let threads = settings.effective_threads();
     let cells = generate_traces(settings);
-    let results = parallel_map(&cells, settings.effective_threads(), |(w, trace)| {
-        f(*w, trace)
-    });
+    let results = parallel_map(&cells, threads, |(w, trace)| f(*w, trace));
     cells.into_iter().map(|(w, _)| w).zip(results).collect()
 }
 
@@ -292,11 +314,12 @@ pub fn per_workload_predictor<T: Send>(
     predictors: &[Predictor],
     f: impl Fn(Workload, &Trace, Predictor) -> T + Sync,
 ) -> Vec<(Workload, Vec<T>)> {
+    let threads = settings.effective_threads();
     let traces = generate_traces(settings);
     let cells: Vec<(usize, Predictor)> = (0..traces.len())
         .flat_map(|wi| predictors.iter().map(move |&p| (wi, p)))
         .collect();
-    let flat = parallel_map(&cells, settings.effective_threads(), |&(wi, p)| {
+    let flat = parallel_map(&cells, threads, |&(wi, p)| {
         let (w, trace) = &traces[wi];
         f(*w, trace, p)
     });

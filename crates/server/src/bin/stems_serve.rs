@@ -1,0 +1,94 @@
+//! `stems-serve` — run the trace-streaming session daemon.
+//!
+//! ```text
+//! stems-serve [--addr HOST:PORT] [--port-file PATH]
+//!             [--read-timeout-secs N] [--write-timeout-secs N]
+//!             [--session-ttl-secs N] [--max-sessions N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0` — an ephemeral port), prints the bound
+//! address on stdout, optionally writes the bound port to `--port-file`
+//! (how scripts discover an ephemeral port), and serves until a client
+//! sends `Shutdown`. Exit code 0 on a graceful drain.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use stems_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stems-serve [--addr HOST:PORT] [--port-file PATH]\n\
+         \x20                  [--read-timeout-secs N] [--write-timeout-secs N]\n\
+         \x20                  [--session-ttl-secs N] [--max-sessions N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut port_file: Option<String> = None;
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--read-timeout-secs" => {
+                config.read_timeout = Duration::from_secs(parse(&value("--read-timeout-secs")))
+            }
+            "--write-timeout-secs" => {
+                config.write_timeout = Duration::from_secs(parse(&value("--write-timeout-secs")))
+            }
+            "--session-ttl-secs" => {
+                config.session_ttl = Duration::from_secs(parse(&value("--session-ttl-secs")))
+            }
+            "--max-sessions" => config.max_sessions = parse(&value("--max-sessions")) as usize,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stems-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = server.local_addr();
+    println!("listening on {bound}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", bound.port())) {
+            eprintln!("stems-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stems-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s}");
+        usage();
+    })
+}

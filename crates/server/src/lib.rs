@@ -1,0 +1,457 @@
+//! The trace-streaming session daemon.
+//!
+//! A [`Server`] listens on one TCP port and multiplexes any number of
+//! tenant [`Session`]s: each `Open` request carries its own
+//! `SystemConfig`/`PrefetchConfig`/`Predictor` choice, each `Chunk`
+//! feeds records straight into `Session::run_chunk`, and every chunk is
+//! answered with a counter snapshot so the client can watch coverage
+//! converge while the trace streams. Message framing is
+//! `stems_types::wire`, typed payloads are `stems_core::protocol`, and
+//! the byte-level contract is `docs/WIRE_PROTOCOL.md`.
+//!
+//! The robustness plumbing a long-lived daemon needs is here rather
+//! than in the protocol:
+//!
+//! * **per-connection read/write timeouts** — a dead or stalled peer
+//!   cannot pin a connection thread forever; its sessions stay in the
+//!   table and can be re-addressed from a new connection;
+//! * **a session table with idle eviction** — sessions untouched for
+//!   [`ServerConfig::session_ttl`] are discarded by the accept loop, so
+//!   abandoned tenants cannot hold memory indefinitely;
+//! * **bounded in-flight work** — requests on a connection are served
+//!   strictly in order, one chunk resident at a time, and a session
+//!   checked out by one connection answers `busy` to others instead of
+//!   queueing unbounded work;
+//! * **graceful drain** — a `Shutdown` request finalizes every open
+//!   session, streams each summary back, acknowledges, and only then
+//!   stops the accept loop; in-flight chunks on other connections are
+//!   waited for, not aborted.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stems_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.run().unwrap(); // blocks until a client sends Shutdown
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stems_core::protocol::{ChunkStats, OpenRequest, Request, Response, SessionSummary};
+use stems_core::Session;
+use stems_types::wire::{self, WireError};
+
+/// Tunables for a [`Server`]. `Default` is sized for the loopback
+/// harness and CI smoke runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// A connection that sends nothing for this long is closed (its
+    /// sessions survive in the table until `session_ttl`).
+    pub read_timeout: Duration,
+    /// A peer that refuses to drain responses for this long is closed.
+    pub write_timeout: Duration,
+    /// Sessions untouched for this long are evicted by the accept loop.
+    pub session_ttl: Duration,
+    /// Upper bound on concurrently open sessions across all tenants.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            session_ttl: Duration::from_secs(300),
+            max_sessions: 64,
+        }
+    }
+}
+
+/// How often the accept loop polls for new connections, the shutdown
+/// flag, and idle-session eviction.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// How long a drain waits for chunks in flight on other connections.
+const DRAIN_WAIT: Duration = Duration::from_millis(1);
+
+struct SessionState {
+    session: Session,
+    fed: u64,
+}
+
+enum Slot {
+    /// Parked in the table, ready for the next chunk.
+    Idle(Box<SessionState>),
+    /// Checked out by a connection thread running a chunk.
+    Busy,
+}
+
+struct Table {
+    next_id: u32,
+    slots: HashMap<u32, (Slot, Instant)>,
+}
+
+impl Table {
+    /// Number of live sessions (idle or checked out).
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    table: Mutex<Table>,
+}
+
+impl Shared {
+    fn checkout(&self, id: u32) -> Result<Box<SessionState>, &'static str> {
+        let mut table = self.table.lock().unwrap();
+        match table.slots.get_mut(&id) {
+            None => Err("no such session"),
+            Some((slot @ Slot::Idle(_), touched)) => {
+                *touched = Instant::now();
+                match std::mem::replace(slot, Slot::Busy) {
+                    Slot::Idle(state) => Ok(state),
+                    Slot::Busy => unreachable!(),
+                }
+            }
+            Some((Slot::Busy, _)) => Err("session is busy on another connection"),
+        }
+    }
+
+    fn checkin(&self, id: u32, state: Box<SessionState>) {
+        let mut table = self.table.lock().unwrap();
+        table.slots.insert(id, (Slot::Idle(state), Instant::now()));
+    }
+
+    fn remove(&self, id: u32) -> Result<Box<SessionState>, &'static str> {
+        let mut table = self.table.lock().unwrap();
+        match table.slots.get(&id) {
+            None => Err("no such session"),
+            Some((Slot::Busy, _)) => Err("session is busy on another connection"),
+            Some((Slot::Idle(_), _)) => match table.slots.remove(&id) {
+                Some((Slot::Idle(state), _)) => Ok(state),
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// Evicts idle sessions untouched for longer than `session_ttl`.
+    fn sweep_idle(&self) -> usize {
+        let ttl = self.config.session_ttl;
+        let now = Instant::now();
+        let mut table = self.table.lock().unwrap();
+        let before = table.slots.len();
+        table
+            .slots
+            .retain(|_, (slot, touched)| matches!(slot, Slot::Busy) || now - *touched < ttl);
+        before - table.slots.len()
+    }
+
+    /// Takes every session out of the table for a drain, waiting for
+    /// busy ones to be checked back in. Returns them in session-id
+    /// order so drain summaries are deterministic.
+    fn drain_all(&self) -> Vec<(u32, Box<SessionState>)> {
+        let deadline = Instant::now() + self.config.write_timeout;
+        let mut drained = Vec::new();
+        loop {
+            {
+                let mut table = self.table.lock().unwrap();
+                let idle_ids: Vec<u32> = table
+                    .slots
+                    .iter()
+                    .filter(|(_, (slot, _))| matches!(slot, Slot::Idle(_)))
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in idle_ids {
+                    if let Some((Slot::Idle(state), _)) = table.slots.remove(&id) {
+                        drained.push((id, state));
+                    }
+                }
+                if table.slots.is_empty() {
+                    break;
+                }
+            }
+            // Busy sessions are mid-chunk on another connection; give
+            // them time to check back in rather than aborting them.
+            if Instant::now() > deadline {
+                break;
+            }
+            thread::sleep(DRAIN_WAIT);
+        }
+        drained.sort_by_key(|(id, _)| *id);
+        drained
+    }
+}
+
+/// The daemon: a bound listener plus the shared session table.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds to `addr` (port 0 picks an ephemeral port — read it back
+    /// with [`Server::local_addr`]).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                config,
+                shutdown: AtomicBool::new(false),
+                table: Mutex::new(Table {
+                    next_id: 1,
+                    slots: HashMap::new(),
+                }),
+            }),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that observes (and can set) the shutdown flag, for
+    /// embedding the server in a process that stops it itself.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves connections until a client's `Shutdown` request (or
+    /// [`ShutdownHandle::shutdown`]) drains the server. Every
+    /// connection thread is joined before returning, so when `run`
+    /// comes back no request is still in flight.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut last_sweep = Instant::now();
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    workers.push(thread::spawn(move || serve_connection(stream, &shared)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+            if last_sweep.elapsed() >= Duration::from_secs(1) {
+                self.shared.sweep_idle();
+                last_sweep = Instant::now();
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Observes and sets a [`Server`]'s shutdown flag from outside its
+/// accept loop.
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Asks the accept loop to stop. Does not drain sessions — use a
+    /// client `Shutdown` request for a summarized drain.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+fn summarize(id: u32, mut state: Box<SessionState>) -> SessionSummary {
+    let recon = state.session.recon_stats();
+    let pst_probes = state.session.pst_probes();
+    let counters = state.session.finalize();
+    SessionSummary {
+        session: id,
+        accesses_fed: state.fed,
+        counters,
+        recon,
+        pst_probes,
+    }
+}
+
+fn build_session(open: &OpenRequest) -> Session {
+    let mut b = Session::builder(&open.system)
+        .prefetch(&open.prefetch)
+        .predictor(open.predictor);
+    if let Some((rate, seed)) = open.invalidations {
+        b = b.invalidations(rate, seed);
+    }
+    b.build()
+}
+
+/// One connection's request loop. Any framing error ends the
+/// connection (after a best-effort `Error` response); request-level
+/// failures (unknown session, full table) are answered and the
+/// connection keeps going.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    // Hello exchange: validate the client's, then identify ourselves.
+    if wire::read_hello(&mut reader).is_err() {
+        return;
+    }
+    if wire::write_hello(&mut writer).is_err() || writer.flush().is_err() {
+        return;
+    }
+
+    let mut payload = Vec::new();
+    let mut frame = Vec::new();
+    let mut scratch = Vec::new();
+    let send = |writer: &mut BufWriter<TcpStream>,
+                frame: &mut Vec<u8>,
+                scratch: &mut Vec<u8>,
+                resp: &Response|
+     -> Result<(), WireError> {
+        resp.write_to(writer, frame, scratch)?;
+        writer.flush()?;
+        Ok(())
+    };
+
+    loop {
+        let request = match Request::read_from(&mut reader, &mut payload) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,              // peer closed cleanly
+            Err(WireError::Io(_)) => return, // dead/stalled peer or timeout
+            Err(e) => {
+                // Hostile or corrupt bytes: report the typed error,
+                // then drop the connection — framing is unrecoverable.
+                let resp = Response::Error {
+                    session: None,
+                    message: e.to_string(),
+                };
+                let _ = send(&mut writer, &mut frame, &mut scratch, &resp);
+                return;
+            }
+        };
+        let reply = match request {
+            Request::Open(open) => handle_open(shared, &open),
+            Request::Chunk { session, records } => handle_chunk(shared, session, &records),
+            Request::Close { session } => match shared.remove(session) {
+                Ok(state) => Response::Summary(Box::new(summarize(session, state))),
+                Err(msg) => Response::Error {
+                    session: Some(session),
+                    message: msg.into(),
+                },
+            },
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let drained = shared.drain_all();
+                let count = drained.len() as u32;
+                for (id, state) in drained {
+                    let resp = Response::Summary(Box::new(summarize(id, state)));
+                    if send(&mut writer, &mut frame, &mut scratch, &resp).is_err() {
+                        return;
+                    }
+                }
+                let _ = send(
+                    &mut writer,
+                    &mut frame,
+                    &mut scratch,
+                    &Response::ShutdownAck { drained: count },
+                );
+                return;
+            }
+        };
+        if send(&mut writer, &mut frame, &mut scratch, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_open(shared: &Shared, open: &OpenRequest) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            session: None,
+            message: "server is shutting down".into(),
+        };
+    }
+    {
+        let table = shared.table.lock().unwrap();
+        if table.len() >= shared.config.max_sessions {
+            return Response::Error {
+                session: None,
+                message: format!("session table full ({} sessions)", table.len()),
+            };
+        }
+    }
+    // Build the tenant's Session outside the lock — table geometry can
+    // make this allocate tens of megabytes.
+    let state = Box::new(SessionState {
+        session: build_session(open),
+        fed: 0,
+    });
+    let mut table = shared.table.lock().unwrap();
+    if table.len() >= shared.config.max_sessions {
+        return Response::Error {
+            session: None,
+            message: format!("session table full ({} sessions)", table.len()),
+        };
+    }
+    let id = table.next_id;
+    table.next_id = table.next_id.wrapping_add(1).max(1);
+    table.slots.insert(id, (Slot::Idle(state), Instant::now()));
+    Response::Opened { session: id }
+}
+
+fn handle_chunk(shared: &Shared, session: u32, records: &[stems_trace::Access]) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            session: Some(session),
+            message: "server is shutting down".into(),
+        };
+    }
+    let mut state = match shared.checkout(session) {
+        Ok(state) => state,
+        Err(msg) => {
+            return Response::Error {
+                session: Some(session),
+                message: msg.into(),
+            }
+        }
+    };
+    // The chunk runs outside the table lock: other tenants' chunks
+    // proceed concurrently, and the drain path waits for this slot to
+    // check back in rather than observing a half-run session.
+    state.session.run_chunk(records);
+    state.fed += records.len() as u64;
+    let stats = ChunkStats {
+        session,
+        accesses_fed: state.fed,
+        counters: *state.session.counters(),
+    };
+    shared.checkin(session, state);
+    Response::Stats(stats)
+}

@@ -1,0 +1,286 @@
+//! Loopback integration: a real `Server` on an ephemeral port, a real
+//! `Client` over TCP, and the acceptance bar from the service design —
+//! counters streamed back from the server must be **identical** to an
+//! in-memory `Session::replay` of the same persisted trace, for every
+//! predictor, under both golden configurations, including with many
+//! tenant sessions interleaved on one server, and a `Shutdown` drain
+//! must summarize every open session before the daemon exits cleanly.
+
+use std::net::SocketAddr;
+use std::thread;
+
+use stems_client::Client;
+use stems_core::protocol::{OpenRequest, SessionSummary};
+use stems_core::{Predictor, PrefetchConfig, Session};
+use stems_memsim::{CacheConfig, SystemConfig};
+use stems_server::{Server, ServerConfig};
+use stems_trace::store::{TraceReader, TraceWriter};
+use stems_trace::Trace;
+use stems_workloads::Workload;
+
+/// Records per store frame — small, so even the tiny test trace spans
+/// many chunk messages.
+const FRAME: usize = 512;
+
+fn start_server() -> (SocketAddr, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn test_trace() -> Trace {
+    Workload::Db2.generate_scaled(0.01, 2009)
+}
+
+fn store_bytes(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::new(&mut buf)
+        .expect("writer")
+        .with_frame_capacity(FRAME);
+    for a in trace.iter() {
+        w.push(*a).expect("push");
+    }
+    w.finish().expect("finish");
+    drop(w);
+    buf
+}
+
+/// The two golden configurations from `engine::sim`: the default small
+/// geometry and the 1KB 2-way L1 / 16KB L2 pressure geometry.
+fn golden_configs() -> [(&'static str, SystemConfig, PrefetchConfig, (f64, u64)); 2] {
+    let pressure = SystemConfig {
+        l1: CacheConfig {
+            size_bytes: 1024,
+            associativity: 2,
+        },
+        l2: CacheConfig {
+            size_bytes: 16 * 1024,
+            associativity: 4,
+        },
+        ..SystemConfig::default()
+    };
+    [
+        (
+            "default",
+            SystemConfig::small(),
+            PrefetchConfig::small(),
+            (0.01, 42),
+        ),
+        ("pressure", pressure, PrefetchConfig::small(), (0.02, 7)),
+    ]
+}
+
+fn open_request(
+    sys: &SystemConfig,
+    cfg: &PrefetchConfig,
+    predictor: Predictor,
+    inval: (f64, u64),
+) -> OpenRequest {
+    OpenRequest {
+        system: sys.clone(),
+        prefetch: cfg.clone(),
+        predictor,
+        invalidations: Some(inval),
+    }
+}
+
+/// The in-memory oracle: replay the same store bytes through a local
+/// session and finalize, exactly as the server does.
+fn local_summary(open: &OpenRequest, bytes: &[u8]) -> SessionSummary {
+    let mut b = Session::builder(&open.system)
+        .prefetch(&open.prefetch)
+        .predictor(open.predictor);
+    if let Some((rate, seed)) = open.invalidations {
+        b = b.invalidations(rate, seed);
+    }
+    let mut session = b.build();
+    let mut reader = TraceReader::new(bytes).expect("reader");
+    let fed = session.replay(&mut reader).expect("replay");
+    let recon = session.recon_stats();
+    let pst_probes = session.pst_probes();
+    let counters = session.finalize();
+    SessionSummary {
+        session: 0, // caller compares everything but the id
+        accesses_fed: fed,
+        counters,
+        recon,
+        pst_probes,
+    }
+}
+
+fn assert_summaries_match(remote: &SessionSummary, local: &SessionSummary, what: &str) {
+    assert_eq!(
+        remote.accesses_fed, local.accesses_fed,
+        "{what}: accesses fed diverged"
+    );
+    assert_eq!(
+        remote.counters, local.counters,
+        "{what}: counters diverged from in-memory replay"
+    );
+    assert_eq!(remote.recon, local.recon, "{what}: recon stats diverged");
+    assert_eq!(
+        remote.pst_probes, local.pst_probes,
+        "{what}: pst probes diverged"
+    );
+}
+
+/// Every predictor, both golden configurations, one session at a time:
+/// streamed counters equal the in-memory replay's, byte for byte.
+#[test]
+fn streamed_counters_match_in_memory_replay() {
+    let bytes = store_bytes(&test_trace());
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(addr).expect("connect");
+    for (config_name, sys, cfg, inval) in golden_configs() {
+        for predictor in Predictor::all() {
+            let open = open_request(&sys, &cfg, predictor, inval);
+            let session = client.open(&open).expect("open");
+            let mut reader = TraceReader::new(bytes.as_slice()).expect("reader");
+            let (fed, last) = client.stream(session, &mut reader, 4).expect("stream");
+            let last = last.expect("at least one chunk");
+            assert_eq!(last.accesses_fed, fed, "last snapshot is cumulative");
+            let remote = client.close(session).expect("close");
+            let local = local_summary(&open, &bytes);
+            assert_summaries_match(
+                &remote,
+                &local,
+                &format!("{config_name}/{}", predictor.name()),
+            );
+        }
+    }
+    assert!(client.shutdown_server().expect("shutdown").is_empty());
+    handle.join().unwrap().expect("server run");
+}
+
+/// Six tenant sessions (one per predictor) open simultaneously on one
+/// server, chunks interleaved round-robin on a single connection: each
+/// session's summary still equals its in-memory oracle.
+#[test]
+fn interleaved_tenant_sessions_stay_isolated() {
+    let bytes = store_bytes(&test_trace());
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(addr).expect("connect");
+    let (_, sys, cfg, inval) = golden_configs().into_iter().next().unwrap();
+
+    let opens: Vec<OpenRequest> = Predictor::all()
+        .into_iter()
+        .map(|p| open_request(&sys, &cfg, p, inval))
+        .collect();
+    let ids: Vec<u32> = opens
+        .iter()
+        .map(|o| client.open(o).expect("open"))
+        .collect();
+    assert!(
+        ids.len() >= 4,
+        "acceptance asks for >= 4 concurrent tenants"
+    );
+
+    // One reader per session, drained round-robin so every chunk of
+    // every tenant interleaves with every other tenant's.
+    let mut readers: Vec<TraceReader<&[u8]>> = ids
+        .iter()
+        .map(|_| TraceReader::new(bytes.as_slice()).expect("reader"))
+        .collect();
+    let mut done = vec![false; ids.len()];
+    while !done.iter().all(|d| *d) {
+        for (i, reader) in readers.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            match reader.next_chunk().expect("chunk") {
+                Some(chunk) => {
+                    let chunk = chunk.to_vec();
+                    client.send_chunk(ids[i], &chunk).expect("send_chunk");
+                }
+                None => done[i] = true,
+            }
+        }
+    }
+    for (i, open) in opens.iter().enumerate() {
+        let remote = client.close(ids[i]).expect("close");
+        let local = local_summary(open, &bytes);
+        assert_summaries_match(&remote, &local, open.predictor.name());
+    }
+    assert!(client.shutdown_server().expect("shutdown").is_empty());
+    handle.join().unwrap().expect("server run");
+}
+
+/// Four client threads, each with its own connection and session,
+/// streaming concurrently — exercises the checkout/checkin discipline
+/// under real parallelism.
+#[test]
+fn parallel_connections_stream_concurrently() {
+    let bytes = store_bytes(&test_trace());
+    let (addr, handle) = start_server();
+    let (_, sys, cfg, inval) = golden_configs().into_iter().next().unwrap();
+    let predictors = [
+        Predictor::Stride,
+        Predictor::Tms,
+        Predictor::Sms,
+        Predictor::Stems,
+    ];
+    thread::scope(|s| {
+        let workers: Vec<_> = predictors
+            .iter()
+            .map(|&p| {
+                let bytes = &bytes;
+                let open = open_request(&sys, &cfg, p, inval);
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let session = client.open(&open).expect("open");
+                    let mut reader = TraceReader::new(bytes.as_slice()).expect("reader");
+                    client.stream(session, &mut reader, 4).expect("stream");
+                    let remote = client.close(session).expect("close");
+                    let local = local_summary(&open, bytes);
+                    assert_summaries_match(&remote, &local, open.predictor.name());
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.shutdown_server().expect("shutdown").is_empty());
+    handle.join().unwrap().expect("server run");
+}
+
+/// Shutdown with sessions still open: the drain finalizes each one,
+/// streams back one summary per session (matching a local replay of
+/// the same records), acknowledges with the drained count, and the
+/// accept loop exits cleanly.
+#[test]
+fn shutdown_drains_open_sessions_with_summaries() {
+    let bytes = store_bytes(&test_trace());
+    let (addr, handle) = start_server();
+    let (_, sys, cfg, inval) = golden_configs().into_iter().next().unwrap();
+
+    // Feed the full store into two sessions but do NOT close them.
+    let mut feeder = Client::connect(addr).expect("connect");
+    let opens = [
+        open_request(&sys, &cfg, Predictor::Tms, inval),
+        open_request(&sys, &cfg, Predictor::Sms, inval),
+    ];
+    let mut ids = Vec::new();
+    for open in &opens {
+        let id = feeder.open(open).expect("open");
+        let mut reader = TraceReader::new(bytes.as_slice()).expect("reader");
+        feeder.stream(id, &mut reader, 4).expect("stream");
+        ids.push(id);
+    }
+
+    // A second connection requests the drain.
+    let mut admin = Client::connect(addr).expect("connect");
+    let summaries = admin.shutdown_server().expect("shutdown");
+    assert_eq!(summaries.len(), 2, "one summary per open session");
+    for (open, id) in opens.iter().zip(&ids) {
+        let remote = summaries
+            .iter()
+            .find(|s| s.session == *id)
+            .expect("summary for session");
+        let local = local_summary(open, &bytes);
+        assert_summaries_match(remote, &local, open.predictor.name());
+    }
+    handle.join().unwrap().expect("server run");
+}

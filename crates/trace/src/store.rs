@@ -328,7 +328,8 @@ impl<W: StoreSink> TraceWriter<W> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        encode_frame(&self.pending, &mut self.payload);
+        self.payload.clear();
+        encode_records(&self.pending, &mut self.payload);
         debug_assert!(self.payload.len() <= MAX_FRAME_PAYLOAD);
         self.sink
             .write_all(&(self.pending.len() as u32).to_le_bytes())?;
@@ -480,7 +481,7 @@ impl<R: Read> TraceReader<R> {
                 computed,
             });
         }
-        decode_frame(&self.payload, count, &mut self.decoded)
+        decode_records(&self.payload, count, &mut self.decoded)
             .map_err(|reason| self.corrupt(reason))?;
         self.offset = frame_offset + (FRAME_HEADER_BYTES + payload_len + CHECKSUM_BYTES) as u64;
         self.frames += 1;
@@ -561,10 +562,14 @@ fn read_full<R: Read>(src: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, TraceS
     Ok(ReadOutcome::Full)
 }
 
-/// Encodes `records` into `out` as the four frame columns (pc deltas,
+/// Appends `records` to `out` as the four frame columns (pc deltas,
 /// address deltas, packed kind/dep flags, work values).
-fn encode_frame(records: &[Access], out: &mut Vec<u8>) {
-    out.clear();
+///
+/// Append-only so callers can prefix their own header (the wire
+/// protocol's `Chunk` message carries a session id and count before the
+/// columns — `docs/WIRE_PROTOCOL.md`); the column bytes are exactly
+/// what a store frame checksums.
+pub fn encode_records(records: &[Access], out: &mut Vec<u8>) {
     let mut prev = 0i64;
     for a in records {
         let v = a.pc.get() as i64;
@@ -600,10 +605,18 @@ fn encode_frame(records: &[Access], out: &mut Vec<u8>) {
     }
 }
 
-/// Decodes a checksummed payload back into `out`; any structural
-/// inconsistency returns the reason (the caller wraps it as
-/// [`TraceStoreError::Corrupt`]).
-fn decode_frame(payload: &[u8], count: usize, out: &mut Vec<Access>) -> Result<(), &'static str> {
+/// Decodes a columnar payload of exactly `count` records back into
+/// `out` (cleared first); any structural inconsistency returns the
+/// reason (the store wraps it as [`TraceStoreError::Corrupt`], the wire
+/// protocol as `WireError::Corrupt`).
+///
+/// The payload must have been produced by [`encode_records`]; callers
+/// are expected to have already verified an enclosing checksum.
+pub fn decode_records(
+    payload: &[u8],
+    count: usize,
+    out: &mut Vec<Access>,
+) -> Result<(), &'static str> {
     out.clear();
     out.reserve(count);
     let mut pos = 0usize;
@@ -667,34 +680,9 @@ fn decode_frame(payload: &[u8], count: usize, out: &mut Vec<Access>) -> Result<(
 }
 
 /// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the checksum named in
-/// `docs/TRACE_FORMAT.md`. Table-driven; the table is built in a const
-/// context so the hot loop is one lookup per byte.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut crc = i as u32;
-            let mut bit = 0;
-            while bit < 8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ 0xEDB8_8320
-                } else {
-                    crc >> 1
-                };
-                bit += 1;
-            }
-            table[i] = crc;
-            i += 1;
-        }
-        table
-    };
-    let mut crc = u32::MAX;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+/// `docs/TRACE_FORMAT.md`. Re-exported from `stems_types::crc`, which
+/// the wire protocol shares (`docs/WIRE_PROTOCOL.md`).
+pub use stems_types::crc::crc32;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,94 @@
+//! CRC-32 (IEEE 802.3), the checksum used by every binary format in the
+//! workspace.
+//!
+//! Both the persistent trace store (`docs/TRACE_FORMAT.md`) and the wire
+//! protocol (`docs/WIRE_PROTOCOL.md`) terminate their length-prefixed
+//! payloads with this checksum, so the implementation lives here in the
+//! leaf crate. The polynomial is the reflected `0xEDB88320`; the check
+//! value for `"123456789"` is `0xCBF43926`.
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) over one contiguous
+/// slice. Table-driven; the table is built in a const context so the
+/// hot loop is one lookup per byte.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental CRC-32 over a sequence of slices.
+///
+/// `Crc32::new()` → [`update`](Crc32::update) in any split →
+/// [`finish`](Crc32::finish) produces exactly what [`crc32`] returns
+/// over the concatenation; the wire codec uses this to checksum a
+/// message header and its separately-buffered payload without copying
+/// them together.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Crc32 { state: u32::MAX }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finalizes and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_contiguous_at_every_split() {
+        let data = b"split me anywhere and the checksum must not care";
+        let whole = crc32(data);
+        for cut in 0..=data.len() {
+            let mut h = Crc32::new();
+            h.update(&data[..cut]);
+            h.update(&data[cut..]);
+            assert_eq!(h.finish(), whole, "split at {cut}");
+        }
+    }
+}

@@ -30,11 +30,13 @@
 pub mod addr;
 pub mod bitmap;
 pub mod counter;
+pub mod crc;
 pub mod hash;
 pub mod pattern;
 pub mod sequence;
 pub mod smallvec;
 pub mod varint;
+pub mod wire;
 
 pub use addr::{Addr, BlockAddr, BlockOffset, Pc, RegionAddr};
 pub use bitmap::FlatBitmap;

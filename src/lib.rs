@@ -17,7 +17,10 @@
 //! * [`analysis`] — Sequitur, repetition classes, correlation distance,
 //!   and the joint predictability oracle (Figures 6–8);
 //! * [`timing`] — the ROB/MSHR/bandwidth timing model (Figure 10);
-//! * [`harness`] — per-figure experiment binaries.
+//! * [`harness`] — per-figure experiment binaries;
+//! * [`server`] / [`client`] — the trace-streaming session service:
+//!   a TCP daemon multiplexing tenant sessions and its streaming
+//!   client (`docs/WIRE_PROTOCOL.md`).
 //!
 //! # Quickstart
 //!
@@ -39,9 +42,11 @@
 //! ```
 
 pub use stems_analysis as analysis;
+pub use stems_client as client;
 pub use stems_core as core;
 pub use stems_harness as harness;
 pub use stems_memsim as memsim;
+pub use stems_server as server;
 pub use stems_timing as timing;
 pub use stems_trace as trace;
 pub use stems_types as types;
