@@ -37,7 +37,9 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use stems_core::protocol::{self, ChunkStats, OpenRequest, Request, Response, SessionSummary};
+use stems_core::protocol::{
+    self, ChunkStats, MetricsReply, OpenRequest, Request, Response, SessionSummary,
+};
 use stems_trace::store::TraceStoreError;
 use stems_trace::{Access, TraceReader};
 use stems_types::wire::{self, WireError};
@@ -243,6 +245,21 @@ impl Client {
             in_flight -= 1;
         }
         Ok((fed, last))
+    }
+
+    /// Scrapes the server's metrics: the rendered text exposition and,
+    /// when `drain_events` is set, the buffered event log as JSON-lines
+    /// (draining is destructive on the server side). Safe to call from
+    /// a dedicated monitoring connection while other clients stream.
+    pub fn metrics(&mut self, drain_events: bool) -> Result<MetricsReply, ClientError> {
+        self.send(&Request::Metrics { drain_events })?;
+        match self.read_response()? {
+            Response::MetricsReply(reply) => Ok(*reply),
+            Response::Error { session, message } => Err(ClientError::Server { session, message }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "MetricsReply",
+            }),
+        }
     }
 
     /// Closes a session and returns its finalized summary.

@@ -54,6 +54,9 @@ pub const KIND_CHUNK: u8 = 0x02;
 pub const KIND_CLOSE: u8 = 0x03;
 /// Message kind: client asks the server to drain all sessions and exit.
 pub const KIND_SHUTDOWN: u8 = 0x04;
+/// Message kind: client asks for a metrics scrape (and optionally the
+/// buffered event log).
+pub const KIND_METRICS: u8 = 0x05;
 /// Message kind: server acknowledges an open with the session id.
 pub const KIND_OPENED: u8 = 0x81;
 /// Message kind: server returns a counter snapshot after a chunk.
@@ -62,6 +65,8 @@ pub const KIND_STATS: u8 = 0x82;
 pub const KIND_SUMMARY: u8 = 0x83;
 /// Message kind: server acknowledges a shutdown after draining.
 pub const KIND_SHUTDOWN_ACK: u8 = 0x84;
+/// Message kind: server returns a rendered metrics scrape.
+pub const KIND_METRICS_REPLY: u8 = 0x85;
 /// Message kind: server reports a typed failure.
 pub const KIND_ERROR: u8 = 0x8F;
 
@@ -110,6 +115,19 @@ pub struct SessionSummary {
     pub pst_probes: Option<u64>,
 }
 
+/// A metrics scrape rendered by the server.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricsReply {
+    /// Prometheus-style text exposition (`name{label="v"} value`
+    /// lines): the process-wide registry followed by each live
+    /// session's registry labeled `session="N"`.
+    pub exposition: String,
+    /// JSON-lines event log drained from the server's ring; empty when
+    /// the request did not ask for events (draining is destructive, so
+    /// it is opt-in).
+    pub events: String,
+}
+
 /// A client-to-server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -130,6 +148,14 @@ pub enum Request {
     /// Drain every open session (each produces a summary) and shut the
     /// server down.
     Shutdown,
+    /// Ask for a metrics scrape; the server replies with a
+    /// [`MetricsReply`]. Read-only with respect to sessions — safe to
+    /// issue from a monitoring connection while tenants stream.
+    Metrics {
+        /// Also drain the buffered event ring into the reply
+        /// (destructive: drained events are gone).
+        drain_events: bool,
+    },
 }
 
 /// A server-to-client message.
@@ -144,6 +170,8 @@ pub enum Response {
     Stats(ChunkStats),
     /// End-of-stream summary for a closed (or drained) session.
     Summary(Box<SessionSummary>),
+    /// A rendered metrics scrape.
+    MetricsReply(Box<MetricsReply>),
     /// Drain finished; the server is about to close the connection.
     ShutdownAck {
         /// How many sessions were drained (their summaries precede
@@ -378,6 +406,7 @@ impl Request {
             Request::Chunk { .. } => KIND_CHUNK,
             Request::Close { .. } => KIND_CLOSE,
             Request::Shutdown => KIND_SHUTDOWN,
+            Request::Metrics { .. } => KIND_METRICS,
         }
     }
 
@@ -392,6 +421,7 @@ impl Request {
             Request::Chunk { session, records } => encode_chunk_payload(scratch, *session, records),
             Request::Close { session } => varint::write_u64(scratch, *session as u64),
             Request::Shutdown => {}
+            Request::Metrics { drain_events } => scratch.push(*drain_events as u8),
         }
         wire::encode_message(out, self.kind(), scratch);
     }
@@ -416,6 +446,18 @@ impl Request {
                 session: read_u32(payload, &mut pos, "truncated close")?,
             },
             KIND_SHUTDOWN => Request::Shutdown,
+            KIND_METRICS => {
+                let flag = *payload
+                    .get(pos)
+                    .ok_or(WireError::Corrupt("truncated metrics request"))?;
+                pos += 1;
+                if flag > 1 {
+                    return Err(WireError::Corrupt("bad drain_events flag"));
+                }
+                Request::Metrics {
+                    drain_events: flag == 1,
+                }
+            }
             other => return Err(WireError::UnknownKind { kind: other }),
         };
         if pos != payload.len() {
@@ -459,6 +501,7 @@ impl Response {
             Response::Opened { .. } => KIND_OPENED,
             Response::Stats(_) => KIND_STATS,
             Response::Summary(_) => KIND_SUMMARY,
+            Response::MetricsReply(_) => KIND_METRICS_REPLY,
             Response::ShutdownAck { .. } => KIND_SHUTDOWN_ACK,
             Response::Error { .. } => KIND_ERROR,
         }
@@ -500,6 +543,12 @@ impl Response {
                         varint::write_u64(scratch, p);
                     }
                 }
+            }
+            Response::MetricsReply(m) => {
+                varint::write_u64(scratch, m.exposition.len() as u64);
+                scratch.extend_from_slice(m.exposition.as_bytes());
+                varint::write_u64(scratch, m.events.len() as u64);
+                scratch.extend_from_slice(m.events.as_bytes());
             }
             Response::ShutdownAck { drained } => varint::write_u64(scratch, *drained as u64),
             Response::Error { session, message } => {
@@ -570,6 +619,19 @@ impl Response {
                     recon,
                     pst_probes,
                 }))
+            }
+            KIND_METRICS_REPLY => {
+                let mut read_text = |what: &'static str| -> Result<String, WireError> {
+                    let len = read_u64(payload, &mut pos, what)? as usize;
+                    let end = pos.checked_add(len).ok_or(WireError::Corrupt(what))?;
+                    let bytes = payload.get(pos..end).ok_or(WireError::Corrupt(what))?;
+                    pos = end;
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| WireError::Corrupt("metrics text is not utf-8"))
+                };
+                let exposition = read_text("truncated metrics exposition")?;
+                let events = read_text("truncated metrics events")?;
+                Response::MetricsReply(Box::new(MetricsReply { exposition, events }))
             }
             KIND_SHUTDOWN_ACK => Response::ShutdownAck {
                 drained: read_u32(payload, &mut pos, "truncated shutdown ack")?,
@@ -676,6 +738,10 @@ mod tests {
             },
             Request::Close { session: 9 },
             Request::Shutdown,
+            Request::Metrics {
+                drain_events: false,
+            },
+            Request::Metrics { drain_events: true },
         ] {
             assert_eq!(round_trip_request(&req), req);
         }
@@ -722,6 +788,12 @@ mod tests {
                 recon: None,
                 pst_probes: None,
             })),
+            Response::MetricsReply(Box::new(MetricsReply {
+                exposition: "stems_chunks_total 3\nstems_accesses_total{session=\"1\"} 640\n"
+                    .into(),
+                events: "{\"nanos\":1,\"level\":\"INFO\",\"event\":\"session_open\"}\n".into(),
+            })),
+            Response::MetricsReply(Box::default()),
             Response::ShutdownAck { drained: 2 },
             Response::Error {
                 session: Some(1),
@@ -755,6 +827,36 @@ mod tests {
         assert!(matches!(
             Request::decode(kind, &padded),
             Err(WireError::Corrupt("trailing bytes after request"))
+        ));
+    }
+
+    #[test]
+    fn hostile_metrics_payloads_are_typed_errors() {
+        assert!(matches!(
+            Request::decode(KIND_METRICS, &[]),
+            Err(WireError::Corrupt("truncated metrics request"))
+        ));
+        assert!(matches!(
+            Request::decode(KIND_METRICS, &[2]),
+            Err(WireError::Corrupt("bad drain_events flag"))
+        ));
+        // A reply whose exposition length runs past the payload is
+        // truncated, not a panic or an over-read.
+        let mut bad = Vec::new();
+        varint::write_u64(&mut bad, 1000);
+        bad.extend_from_slice(b"short");
+        assert!(matches!(
+            Response::decode(KIND_METRICS_REPLY, &bad),
+            Err(WireError::Corrupt("truncated metrics exposition"))
+        ));
+        // Non-UTF-8 text is rejected.
+        let mut nonutf = Vec::new();
+        varint::write_u64(&mut nonutf, 1);
+        nonutf.push(0xFF);
+        varint::write_u64(&mut nonutf, 0);
+        assert!(matches!(
+            Response::decode(KIND_METRICS_REPLY, &nonutf),
+            Err(WireError::Corrupt("metrics text is not utf-8"))
         ));
     }
 

@@ -39,6 +39,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use stems_memsim::SystemConfig;
+use stems_obs::SessionObs;
 use stems_trace::{Access, Trace};
 
 use crate::engine::{
@@ -258,6 +259,7 @@ pub struct SessionBuilder {
     prefetch: PrefetchConfig,
     predictor: Predictor,
     invalidations: Option<(f64, u64)>,
+    obs: Option<SessionObs>,
 }
 
 impl SessionBuilder {
@@ -281,6 +283,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches an observation hook called around every chunk (defaults
+    /// to none — an unobserved session pays zero overhead). Observation
+    /// only reads a clock and bumps atomic metrics; it never alters
+    /// simulation behaviour or counters.
+    pub fn obs(mut self, hook: SessionObs) -> Self {
+        self.obs = Some(hook);
+        self
+    }
+
     /// The system configuration this builder was created with.
     pub fn system(&self) -> &SystemConfig {
         &self.system
@@ -298,7 +309,7 @@ impl SessionBuilder {
         if let Some((rate, seed)) = self.invalidations {
             sim = sim.with_invalidations(rate, seed);
         }
-        Session { sim }
+        Session { sim, obs: self.obs }
     }
 
     /// Convenience: builds the session, runs the whole trace through the
@@ -318,6 +329,7 @@ impl SessionBuilder {
 #[derive(Debug)]
 pub struct Session {
     sim: CoverageSim<AnyPrefetcher>,
+    obs: Option<SessionObs>,
 }
 
 impl Session {
@@ -328,13 +340,30 @@ impl Session {
             prefetch: PrefetchConfig::default(),
             predictor: Predictor::None,
             invalidations: None,
+            obs: None,
         }
+    }
+
+    /// Attaches (or replaces) the observation hook after construction —
+    /// how the server binds per-tenant metrics once it knows the
+    /// session id.
+    pub fn set_obs(&mut self, hook: SessionObs) {
+        self.obs = Some(hook);
     }
 
     /// Delivers a batch of accesses to the engine (the primary entry
     /// point; see [`CoverageSim::run_chunk`]).
     pub fn run_chunk(&mut self, chunk: &[Access]) {
-        self.sim.run_chunk(chunk);
+        match &self.obs {
+            None => self.sim.run_chunk(chunk),
+            Some(obs) => {
+                let started = obs.begin_chunk();
+                self.sim.run_chunk(chunk);
+                // The hook cannot see or touch `sim`; it only records
+                // elapsed time and the record count.
+                obs.end_chunk(started, chunk.len());
+            }
+        }
     }
 
     /// [`Session::run_chunk`] with a per-access observer called with each
@@ -355,8 +384,9 @@ impl Session {
     ) -> Result<u64, stems_trace::TraceStoreError> {
         let mut fed = 0u64;
         while let Some(chunk) = reader.next_chunk()? {
-            self.sim.run_chunk(chunk);
-            fed += chunk.len() as u64;
+            let len = chunk.len() as u64;
+            self.run_chunk(chunk);
+            fed += len;
         }
         Ok(fed)
     }
@@ -368,7 +398,10 @@ impl Session {
 
     /// Runs the whole trace through the batched path and finalizes.
     pub fn run(&mut self, trace: &Trace) -> Counters {
-        self.sim.run(trace)
+        // One observed chunk when a hook is attached; identical to
+        // `CoverageSim::run` (run_chunk + finalize) either way.
+        self.run_chunk(trace.as_slice());
+        self.finalize()
     }
 
     /// Counters accumulated so far (call [`Session::finalize`] first for
@@ -513,6 +546,93 @@ mod tests {
             assert_eq!(fed, trace.len() as u64);
             assert_eq!(session.finalize(), direct, "{p}");
         }
+    }
+
+    #[test]
+    fn observation_never_perturbs_results() {
+        // The acceptance guarantee behind the golden-counter configs:
+        // attaching a hook must leave every counter byte-identical, and
+        // a ManualClock makes the recorded metrics fully deterministic.
+        use std::sync::Arc;
+        use stems_obs::{MetricsRegistry, SessionObs};
+        use stems_types::clock::{ManualClock, SharedClock};
+
+        let mut trace = Trace::new();
+        for i in 0..700u64 {
+            trace.read(0x700 + (i % 6), ((i * 7919) % 300) * 2048 + (i % 13) * 64);
+        }
+        let sys = SystemConfig::small();
+        let cfg = PrefetchConfig::small();
+        for p in [Predictor::Stems, Predictor::Tms] {
+            let plain = Session::builder(&sys)
+                .prefetch(&cfg)
+                .predictor(p)
+                .invalidations(0.01, 7)
+                .run(&trace);
+
+            let clock = Arc::new(ManualClock::new());
+            let reg = MetricsRegistry::new();
+            let obs = SessionObs::builder(clock.clone() as SharedClock)
+                .registry(&reg)
+                .build();
+            let mut session = Session::builder(&sys)
+                .prefetch(&cfg)
+                .predictor(p)
+                .invalidations(0.01, 7)
+                .obs(obs)
+                .build();
+            for chunk in trace.as_slice().chunks(100) {
+                clock.advance_nanos(5_000);
+                session.run_chunk(chunk);
+            }
+            assert_eq!(session.finalize(), plain, "{p}: observed run must match");
+            assert_eq!(reg.counter("stems_chunks_total").get(), 7);
+            assert_eq!(reg.counter("stems_accesses_total").get(), 700);
+            // The clock only advanced between begin/end via our manual
+            // ticks, so latency metrics are exact, not flaky.
+            assert_eq!(reg.histogram("stems_chunk_nanos").count(), 7);
+            assert_eq!(reg.histogram("stems_chunk_nanos").max(), 0);
+            assert_eq!(reg.histogram("stems_chunk_records").sum(), 700);
+        }
+    }
+
+    #[test]
+    fn set_obs_observes_replay_and_run() {
+        use std::sync::Arc;
+        use stems_obs::{MetricsRegistry, SessionObs};
+        use stems_trace::{TraceReader, TraceWriter};
+        use stems_types::clock::{ManualClock, SharedClock};
+
+        let mut trace = Trace::new();
+        for i in 0..150u64 {
+            trace.read(0x800, ((i * 31) % 64) * 2048);
+        }
+        let clock = Arc::new(ManualClock::new());
+        let reg = MetricsRegistry::new();
+        let obs = SessionObs::builder(clock as SharedClock)
+            .registry(&reg)
+            .build();
+        let sys = SystemConfig::small();
+
+        // Attached after construction (the server's path), replay is
+        // observed chunk by chunk.
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap().with_frame_capacity(40);
+        w.write_accesses(trace.as_slice()).unwrap();
+        w.finish().unwrap();
+        drop(w);
+        let mut session = Session::builder(&sys).build();
+        session.set_obs(obs.clone());
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        session.replay(&mut reader).unwrap();
+        assert_eq!(reg.counter("stems_accesses_total").get(), 150);
+        assert_eq!(reg.counter("stems_chunks_total").get(), 4); // ceil(150/40)
+
+        // Session::run counts as one chunk.
+        let mut second = Session::builder(&sys).obs(obs).build();
+        second.run(&trace);
+        assert_eq!(reg.counter("stems_accesses_total").get(), 300);
+        assert_eq!(reg.counter("stems_chunks_total").get(), 5);
     }
 
     #[test]

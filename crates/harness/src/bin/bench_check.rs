@@ -4,7 +4,8 @@
 //!
 //! Usage: `cargo run --release -p stems-harness --bin bench_check --
 //! --baseline tools/bench_baseline.json --current BENCH_smoke.json
-//! [--max-slowdown 2.5] [--stems-max-slowdown 2.0]`
+//! [--max-slowdown 2.5] [--stems-max-slowdown 2.0]
+//! [--obs-max-overhead 1.5]`
 //!
 //! The tolerance is deliberately generous: bench numbers come from noisy
 //! shared VMs (±30% run-to-run on the same binary), so the gate is a
@@ -13,6 +14,12 @@
 //! — the headline predictor and the target of successive hot-path PRs —
 //! are gated explicitly with a tighter tolerance, and the baseline is
 //! required to contain them so the gate cannot silently disappear.
+//!
+//! The `obs_overhead/...` rows (hooked/plain wall-clock ratios from the
+//! observability A/B) are gated absolutely against the current report
+//! only — no baseline needed, a ratio already carries its own A/B. The
+//! ceiling defaults to 1.5× for the same noise reason; the *design*
+//! target is ≤2% same-boot (docs/OBSERVABILITY.md).
 
 use stems_harness::bench;
 
@@ -35,18 +42,23 @@ fn main() {
     let stems_max_slowdown: f64 = arg_value(&args, "--stems-max-slowdown")
         .map(|s| s.parse().expect("--stems-max-slowdown takes a float"))
         .unwrap_or(2.0);
+    let obs_max_overhead: f64 = arg_value(&args, "--obs-max-overhead")
+        .map(|s| s.parse().expect("--obs-max-overhead takes a float"))
+        .unwrap_or(1.5);
 
-    // Only accesses_per_sec rows enter the gate: diagnostic rows in
-    // other units (pst_probes_per_access, figure wall-clocks, peak_rss)
-    // are skipped, not errors — gating a lower-is-better unit with a
-    // slowdown ratio would invert its meaning.
-    let read = |path: &str| -> Vec<(String, f64)> {
+    // Only accesses_per_sec rows enter the slowdown gate: diagnostic
+    // rows in other units (pst_probes_per_access, figure wall-clocks,
+    // peak_rss) are skipped, not errors — gating a lower-is-better unit
+    // with a slowdown ratio would invert its meaning. The obs_overhead
+    // ratio rows get their own absolute gate below.
+    let read = |path: &str| -> Vec<(String, f64, String)> {
         let json = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
-        bench::throughput_rows(&bench::parse_report_units(&json))
+        bench::parse_report_units(&json)
     };
-    let baseline = read(&baseline_path);
-    let current = read(&current_path);
+    let current_rows = read(&current_path);
+    let baseline = bench::throughput_rows(&read(&baseline_path));
+    let current = bench::throughput_rows(&current_rows);
     assert!(
         baseline
             .iter()
@@ -84,8 +96,27 @@ fn main() {
         );
         failed += l.failed as usize;
     }
+
+    // Observability overhead: absolute ceiling on each hooked/plain
+    // ratio in the current report. Asserted non-empty so shipping a
+    // report without the A/B cannot quietly retire the gate.
+    let overhead = bench::overhead_rows(&current_rows);
+    assert!(
+        !overhead.is_empty(),
+        "bench_check: no obs_overhead rows in {current_path}; the observability gate must not silently disappear"
+    );
+    for (name, ratio) in &overhead {
+        let over = *ratio > obs_max_overhead;
+        eprintln!(
+            "  {} {:<40} overhead {ratio:>5.2}x (max {obs_max_overhead}x)",
+            if over { "FAIL" } else { "  ok" },
+            name,
+        );
+        failed += over as usize;
+    }
+
     if failed > 0 {
-        eprintln!("bench_check: {failed} metric(s) regressed more than {max_slowdown}x");
+        eprintln!("bench_check: {failed} metric(s) outside tolerance");
         std::process::exit(1);
     }
     eprintln!("bench_check: ok");

@@ -3,10 +3,18 @@
 //! proxy, so successive PRs have a machine-readable perf trajectory.
 //!
 //! Usage: `cargo run --release -p stems-harness --bin bench_harness --
-//! [--scale <f>] [--seed <n>] [--threads <n>] [--out <path>]`
+//! [--scale <f>] [--seed <n>] [--threads <n>] [--out <path>]
+//! [--obs-json <path>]`
+//!
+//! `--obs-json` additionally writes the flat-JSON dump of the metrics
+//! registry that the observation-cost A/B's hooked runs recorded into
+//! (counters, plus quantile summaries of the chunk-latency histograms)
+//! — the observability layer's own view of the bench, next to the
+//! stopwatch's.
 
 use stems_harness::bench;
 use stems_harness::Settings;
+use stems_obs::MetricsRegistry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +30,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_harness.json".to_string());
+    let obs_json = args
+        .iter()
+        .position(|a| a == "--obs-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     eprintln!(
         "bench_harness: scale {} seed {} threads {}",
@@ -29,11 +42,20 @@ fn main() {
         settings.seed,
         settings.effective_threads()
     );
-    let measurements = bench::run(settings.clone());
+    let registry = MetricsRegistry::new();
+    let measurements =
+        bench::run_with_obs(settings.clone(), obs_json.is_some().then_some(&registry));
     for m in &measurements {
         eprintln!("  {:<44} {:>16.3} {}", m.name, m.value, m.unit);
     }
     let json = bench::to_json(settings, &measurements);
     std::fs::write(&out_path, &json).expect("write BENCH_harness.json");
     eprintln!("wrote {out_path}");
+    if let Some(path) = obs_json {
+        let mut dump = String::new();
+        registry.render_json(&mut dump);
+        dump.push('\n');
+        std::fs::write(&path, &dump).expect("write observability dump");
+        eprintln!("wrote {path}");
+    }
 }

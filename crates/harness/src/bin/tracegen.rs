@@ -9,6 +9,7 @@
 //! tracegen replay /tmp/db2.stems --workload db2 --predictor STeMS
 //! tracegen replay /tmp/db2.stems --workload db2 --remote 127.0.0.1:4909
 //! tracegen verify db2 /tmp/db2.stems --scale 0.1 --seed 7
+//! tracegen metrics --remote 127.0.0.1:4909 [--events]
 //! ```
 //!
 //! `capture` writes the chunked store format (`docs/TRACE_FORMAT.md`);
@@ -18,6 +19,9 @@
 //! `replay --remote` streams the store to a running `stems-serve`
 //! daemon instead, using the identical session configuration, so its
 //! counters line up with the local replay row for row-by-row diffing.
+//! `metrics --remote` scrapes a live daemon's observability registry
+//! (`docs/OBSERVABILITY.md`) and prints the text exposition; `--events`
+//! also drains the daemon's event ring as JSON-lines.
 
 use std::fs::File;
 use std::io::{BufReader, Read};
@@ -48,6 +52,7 @@ fn usage() -> ExitCode {
     eprintln!("       tracegen replay <file> --workload <w> [--predictor <p>] [--scale f]");
     eprintln!("                       [--remote HOST:PORT [--window n]]");
     eprintln!("       tracegen verify <workload> <file> [--scale f] [--seed n]");
+    eprintln!("       tracegen metrics --remote HOST:PORT [--events]");
     ExitCode::FAILURE
 }
 
@@ -258,6 +263,41 @@ fn remote_replay(
     }
 }
 
+/// Scrapes a live daemon's metrics over the wire protocol and prints
+/// the text exposition to stdout. With `--events`, the daemon's event
+/// ring is drained and printed after the exposition (separated by a
+/// blank line) as JSON-lines.
+fn metrics(args: &[String]) -> ExitCode {
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let Some(addr) = arg_after("--remote") else {
+        eprintln!("metrics needs --remote HOST:PORT (a running stems-serve daemon)");
+        return ExitCode::FAILURE;
+    };
+    let drain_events = args.iter().any(|a| a == "--events");
+    let run = || -> Result<_, stems_client::ClientError> {
+        let mut client = stems_client::Client::connect(addr)?;
+        client.metrics(drain_events)
+    };
+    match run() {
+        Ok(reply) => {
+            print!("{}", reply.exposition);
+            if drain_events {
+                println!();
+                print!("{}", reply.events);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("metrics scrape failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn verify(args: &[String]) -> ExitCode {
     let Some(workload) = workload_by_name(&args[0]) else {
         eprintln!("unknown workload {:?}", args[0]);
@@ -308,6 +348,7 @@ fn main() -> ExitCode {
         Some("info") if args.len() >= 2 => info(&args[1]),
         Some("replay") if args.len() >= 2 => replay(&args[1..]),
         Some("verify") if args.len() >= 3 => verify(&args[1..]),
+        Some("metrics") if args.len() >= 2 => metrics(&args[1..]),
         _ => usage(),
     }
 }

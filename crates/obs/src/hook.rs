@@ -1,0 +1,255 @@
+//! The per-session observation hook `stems_core::Session` calls around
+//! each chunk.
+//!
+//! A [`SessionObs`] bundles pre-registered metric handles with a
+//! caller-supplied clock. `Session::run_chunk` brackets the simulation
+//! with [`SessionObs::begin_chunk`] / [`SessionObs::end_chunk`]; the
+//! hook reads the clock twice and bumps atomics — it never touches the
+//! simulation state, so enabling observation cannot perturb results
+//! (the golden-counter tests pin this).
+//!
+//! One hook can feed several registries at once: the server registers
+//! both the per-tenant registry (scraped with `session="N"` labels)
+//! and the process-wide one, so a single `end_chunk` updates both.
+//! Optionally a slow-chunk threshold routes outliers into an
+//! [`EventRing`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use stems_types::clock::SharedClock;
+
+use crate::events::{Event, EventKind, EventRing};
+use crate::metrics::{Counter, Histogram, MetricsRegistry};
+
+/// Metric handles registered against one target registry.
+#[derive(Clone)]
+struct Target {
+    accesses: Counter,
+    chunks: Counter,
+    chunk_nanos: Histogram,
+    chunk_records: Histogram,
+    slow_chunks: Counter,
+}
+
+impl Target {
+    fn register(reg: &MetricsRegistry) -> Target {
+        Target {
+            accesses: reg.counter("stems_accesses_total"),
+            chunks: reg.counter("stems_chunks_total"),
+            chunk_nanos: reg.histogram("stems_chunk_nanos"),
+            chunk_records: reg.histogram("stems_chunk_records"),
+            slow_chunks: reg.counter("stems_slow_chunks_total"),
+        }
+    }
+}
+
+struct SlowChunk {
+    threshold_nanos: u64,
+    session: u32,
+    ring: Arc<EventRing>,
+}
+
+/// Builder for [`SessionObs`]; see [`SessionObs::builder`].
+pub struct SessionObsBuilder {
+    clock: SharedClock,
+    targets: Vec<Target>,
+    slow: Option<SlowChunk>,
+}
+
+impl SessionObsBuilder {
+    /// Registers this hook's metrics (`stems_accesses_total`,
+    /// `stems_chunks_total`, `stems_chunk_nanos`,
+    /// `stems_chunk_records`, `stems_slow_chunks_total`) in `reg` and
+    /// adds it as an update target. May be called more than once to
+    /// fan updates out to several registries.
+    pub fn registry(mut self, reg: &MetricsRegistry) -> SessionObsBuilder {
+        self.targets.push(Target::register(reg));
+        self
+    }
+
+    /// Emits a [`EventKind::SlowChunk`] event for session `session`
+    /// into `ring` whenever a chunk exceeds `threshold_nanos`, and
+    /// bumps `stems_slow_chunks_total`. A zero threshold disables the
+    /// check.
+    pub fn slow_chunk(
+        mut self,
+        threshold_nanos: u64,
+        session: u32,
+        ring: Arc<EventRing>,
+    ) -> SessionObsBuilder {
+        self.slow = if threshold_nanos == 0 {
+            None
+        } else {
+            Some(SlowChunk {
+                threshold_nanos,
+                session,
+                ring,
+            })
+        };
+        self
+    }
+
+    /// Finishes the hook.
+    pub fn build(self) -> SessionObs {
+        SessionObs {
+            clock: self.clock,
+            targets: self.targets.into(),
+            slow: self.slow.map(Arc::new),
+        }
+    }
+}
+
+/// The chunk-observation hook. Cheap to clone (shared `Arc` handles);
+/// every clone updates the same metrics.
+#[derive(Clone)]
+pub struct SessionObs {
+    clock: SharedClock,
+    targets: Arc<[Target]>,
+    slow: Option<Arc<SlowChunk>>,
+}
+
+impl SessionObs {
+    /// Starts building a hook around `clock`. Time only ever comes
+    /// from this clock, so tests drive the hook deterministically with
+    /// a `ManualClock`.
+    pub fn builder(clock: SharedClock) -> SessionObsBuilder {
+        SessionObsBuilder {
+            clock,
+            targets: Vec::new(),
+            slow: None,
+        }
+    }
+
+    /// Marks the start of a chunk; returns the clock reading to hand
+    /// back to [`SessionObs::end_chunk`].
+    pub fn begin_chunk(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Records a finished chunk of `records` accesses that started at
+    /// `started` (from [`SessionObs::begin_chunk`]).
+    pub fn end_chunk(&self, started: u64, records: usize) {
+        let nanos = self.clock.now_nanos().saturating_sub(started);
+        let slow = self
+            .slow
+            .as_ref()
+            .filter(|s| nanos >= s.threshold_nanos)
+            .is_some();
+        for t in self.targets.iter() {
+            t.accesses.add(records as u64);
+            t.chunks.inc();
+            t.chunk_nanos.observe(nanos);
+            t.chunk_records.observe(records as u64);
+            if slow {
+                t.slow_chunks.inc();
+            }
+        }
+        if slow {
+            let s = self.slow.as_ref().unwrap();
+            s.ring.push(Event {
+                nanos: self.clock.now_nanos(),
+                kind: EventKind::SlowChunk {
+                    session: s.session,
+                    nanos,
+                    records,
+                },
+            });
+        }
+    }
+}
+
+impl fmt::Debug for SessionObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionObs")
+            .field("targets", &self.targets.len())
+            .field(
+                "slow_chunk_threshold_nanos",
+                &self.slow.as_ref().map(|s| s.threshold_nanos),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_types::clock::ManualClock;
+
+    fn manual() -> (Arc<ManualClock>, SharedClock) {
+        let clock = Arc::new(ManualClock::new());
+        let shared: SharedClock = clock.clone();
+        (clock, shared)
+    }
+
+    #[test]
+    fn end_chunk_updates_every_target() {
+        let (clock, shared) = manual();
+        let tenant = MetricsRegistry::new();
+        let process = MetricsRegistry::new();
+        let obs = SessionObs::builder(shared)
+            .registry(&tenant)
+            .registry(&process)
+            .build();
+        let t0 = obs.begin_chunk();
+        clock.advance_nanos(2_000);
+        obs.end_chunk(t0, 128);
+        for reg in [&tenant, &process] {
+            assert_eq!(reg.counter("stems_accesses_total").get(), 128);
+            assert_eq!(reg.counter("stems_chunks_total").get(), 1);
+            assert_eq!(reg.histogram("stems_chunk_nanos").sum(), 2_000);
+            assert_eq!(reg.histogram("stems_chunk_records").max(), 128);
+            assert_eq!(reg.counter("stems_slow_chunks_total").get(), 0);
+        }
+    }
+
+    #[test]
+    fn slow_chunks_cross_into_the_ring() {
+        let (clock, shared) = manual();
+        let reg = MetricsRegistry::new();
+        let ring = Arc::new(EventRing::new(4));
+        let obs = SessionObs::builder(shared)
+            .registry(&reg)
+            .slow_chunk(1_000, 9, ring.clone())
+            .build();
+        // Fast chunk: no event.
+        let t0 = obs.begin_chunk();
+        clock.advance_nanos(999);
+        obs.end_chunk(t0, 10);
+        assert!(ring.is_empty());
+        // At-threshold chunk: event + counter.
+        let t1 = obs.begin_chunk();
+        clock.advance_nanos(1_000);
+        obs.end_chunk(t1, 20);
+        assert_eq!(reg.counter("stems_slow_chunks_total").get(), 1);
+        let events = ring.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            EventKind::SlowChunk {
+                session: 9,
+                nanos: 1_000,
+                records: 20
+            }
+        );
+    }
+
+    #[test]
+    fn clones_share_handles_and_zero_threshold_disables() {
+        let (clock, shared) = manual();
+        let reg = MetricsRegistry::new();
+        let ring = Arc::new(EventRing::new(4));
+        let obs = SessionObs::builder(shared)
+            .registry(&reg)
+            .slow_chunk(0, 1, ring.clone())
+            .build();
+        let clone = obs.clone();
+        let t0 = clone.begin_chunk();
+        clock.advance_nanos(u64::MAX / 2);
+        clone.end_chunk(t0, 5);
+        assert_eq!(reg.counter("stems_chunks_total").get(), 1);
+        assert!(ring.is_empty(), "zero threshold disables slow-chunk events");
+        let dbg = format!("{obs:?}");
+        assert!(dbg.contains("SessionObs"));
+    }
+}

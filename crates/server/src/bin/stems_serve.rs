@@ -4,23 +4,35 @@
 //! stems-serve [--addr HOST:PORT] [--port-file PATH]
 //!             [--read-timeout-secs N] [--write-timeout-secs N]
 //!             [--session-ttl-secs N] [--max-sessions N]
+//!             [--log-level error|warn|info|debug] [--quiet]
+//!             [--slow-chunk-ms N] [--event-capacity N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0` — an ephemeral port), prints the bound
 //! address on stdout, optionally writes the bound port to `--port-file`
 //! (how scripts discover an ephemeral port), and serves until a client
 //! sends `Shutdown`. Exit code 0 on a graceful drain.
+//!
+//! Logging goes through the observability event layer (see
+//! `docs/OBSERVABILITY.md`): `--log-level info` mirrors every event at
+//! or below that level to stderr as timestamped `[+secs] LEVEL ...`
+//! lines; `--quiet` (the default) suppresses them. Events land in the
+//! server's bounded ring either way and can be scraped over the wire
+//! with `tracegen metrics --remote ADDR --events`.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use stems_obs::LogLevel;
 use stems_server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: stems-serve [--addr HOST:PORT] [--port-file PATH]\n\
          \x20                  [--read-timeout-secs N] [--write-timeout-secs N]\n\
-         \x20                  [--session-ttl-secs N] [--max-sessions N]"
+         \x20                  [--session-ttl-secs N] [--max-sessions N]\n\
+         \x20                  [--log-level error|warn|info|debug] [--quiet]\n\
+         \x20                  [--slow-chunk-ms N] [--event-capacity N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +63,20 @@ fn main() -> ExitCode {
                 config.session_ttl = Duration::from_secs(parse(&value("--session-ttl-secs")))
             }
             "--max-sessions" => config.max_sessions = parse(&value("--max-sessions")) as usize,
+            "--log-level" => {
+                let raw = value("--log-level");
+                config.log = Some(raw.parse::<LogLevel>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                }))
+            }
+            "--quiet" => config.log = None,
+            "--slow-chunk-ms" => {
+                config.slow_chunk_nanos = parse(&value("--slow-chunk-ms")) * 1_000_000
+            }
+            "--event-capacity" => {
+                config.event_capacity = parse(&value("--event-capacity")) as usize
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

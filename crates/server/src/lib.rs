@@ -25,7 +25,15 @@
 //! * **graceful drain** — a `Shutdown` request finalizes every open
 //!   session, streams each summary back, acknowledges, and only then
 //!   stops the accept loop; in-flight chunks on other connections are
-//!   waited for, not aborted.
+//!   waited for, not aborted;
+//! * **observability** — every lifecycle edge and chunk feeds the
+//!   [`ServerObs`] hub (metrics registries + event ring, see
+//!   `docs/OBSERVABILITY.md`); a `Metrics` request scrapes it live
+//!   over the same wire protocol;
+//! * **crash containment** — a connection worker that panics mid-chunk
+//!   cannot strand its session as `Busy` forever: a drop-guard removes
+//!   the orphaned slot, records a `session_abort` event, and the
+//!   worker's panic is caught so the daemon keeps serving.
 //!
 //! # Example
 //!
@@ -40,6 +48,7 @@
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -47,7 +56,12 @@ use std::time::{Duration, Instant};
 
 use stems_core::protocol::{ChunkStats, OpenRequest, Request, Response, SessionSummary};
 use stems_core::Session;
+use stems_obs::LogLevel;
 use stems_types::wire::{self, WireError};
+
+pub mod obs;
+
+pub use obs::ServerObs;
 
 /// Tunables for a [`Server`]. `Default` is sized for the loopback
 /// harness and CI smoke runs.
@@ -62,6 +76,14 @@ pub struct ServerConfig {
     pub session_ttl: Duration,
     /// Upper bound on concurrently open sessions across all tenants.
     pub max_sessions: usize,
+    /// Mirror events at or below this level to stderr as timestamped
+    /// log lines. `None` (the default) keeps the daemon silent; events
+    /// still land in the ring either way.
+    pub log: Option<LogLevel>,
+    /// Chunks slower than this raise a `slow_chunk` event (0 disables).
+    pub slow_chunk_nanos: u64,
+    /// Capacity of the bounded event ring.
+    pub event_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +93,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(30),
             session_ttl: Duration::from_secs(300),
             max_sessions: 64,
+            log: None,
+            slow_chunk_nanos: 250_000_000,
+            event_capacity: 1024,
         }
     }
 }
@@ -109,6 +134,7 @@ struct Shared {
     config: ServerConfig,
     shutdown: AtomicBool,
     table: Mutex<Table>,
+    obs: ServerObs,
 }
 
 impl Shared {
@@ -148,12 +174,22 @@ impl Shared {
     fn sweep_idle(&self) -> usize {
         let ttl = self.config.session_ttl;
         let now = Instant::now();
-        let mut table = self.table.lock().unwrap();
-        let before = table.slots.len();
-        table
-            .slots
-            .retain(|_, (slot, touched)| matches!(slot, Slot::Busy) || now - *touched < ttl);
-        before - table.slots.len()
+        let mut evicted = Vec::new();
+        {
+            let mut table = self.table.lock().unwrap();
+            table.slots.retain(|id, (slot, touched)| {
+                let keep = matches!(slot, Slot::Busy) || now - *touched < ttl;
+                if !keep {
+                    evicted.push(*id);
+                }
+                keep
+            });
+        }
+        // Events are recorded outside the table lock.
+        for &id in &evicted {
+            self.obs.session_evicted(id);
+        }
+        evicted.len()
     }
 
     /// Takes every session out of the table for a drain, waiting for
@@ -192,6 +228,54 @@ impl Shared {
     }
 }
 
+/// Owns a checked-out session slot for the duration of one chunk.
+///
+/// The happy path calls [`CheckoutGuard::finish`], which checks the
+/// session back in. If the guard is instead dropped with the state
+/// still held — the chunk panicked, and the stack is unwinding — the
+/// slot would otherwise stay `Busy` in the table forever (unservable,
+/// unevictable, and a permanent drain blocker). `Drop` repairs that:
+/// it removes the orphaned entry, discards the half-run session (its
+/// simulation state is unreliable mid-chunk), and records the abort.
+struct CheckoutGuard<'a> {
+    shared: &'a Shared,
+    id: u32,
+    state: Option<Box<SessionState>>,
+}
+
+impl<'a> CheckoutGuard<'a> {
+    fn new(shared: &'a Shared, id: u32, state: Box<SessionState>) -> CheckoutGuard<'a> {
+        CheckoutGuard {
+            shared,
+            id,
+            state: Some(state),
+        }
+    }
+
+    fn state(&mut self) -> &mut SessionState {
+        self.state.as_mut().expect("state taken before finish")
+    }
+
+    /// Normal completion: parks the session back in the table.
+    fn finish(mut self) {
+        let state = self.state.take().expect("finish called twice");
+        self.shared.checkin(self.id, state);
+    }
+}
+
+impl Drop for CheckoutGuard<'_> {
+    fn drop(&mut self) {
+        if self.state.take().is_some() {
+            let mut table = self.shared.table.lock().unwrap();
+            table.slots.remove(&self.id);
+            drop(table);
+            self.shared
+                .obs
+                .session_aborted(self.id, "connection worker died mid-chunk");
+        }
+    }
+}
+
 /// The daemon: a bound listener plus the shared session table.
 pub struct Server {
     listener: TcpListener,
@@ -210,12 +294,13 @@ impl Server {
             listener,
             local_addr,
             shared: Arc::new(Shared {
-                config,
                 shutdown: AtomicBool::new(false),
                 table: Mutex::new(Table {
                     next_id: 1,
                     slots: HashMap::new(),
                 }),
+                obs: ServerObs::new(config.log, config.slow_chunk_nanos, config.event_capacity),
+                config,
             }),
         })
     }
@@ -243,8 +328,18 @@ impl Server {
         while !self.shared.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    self.shared.obs.connection_accepted();
                     let shared = Arc::clone(&self.shared);
-                    workers.push(thread::spawn(move || serve_connection(stream, &shared)));
+                    workers.push(thread::spawn(move || {
+                        // Contain panics to the one connection: the
+                        // chunk guard has already repaired the session
+                        // table by the time the unwind reaches here.
+                        if catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &shared)))
+                            .is_err()
+                        {
+                            shared.obs.worker_panicked();
+                        }
+                    }));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     thread::sleep(ACCEPT_POLL);
@@ -321,9 +416,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     let mut writer = BufWriter::new(stream);
     // Hello exchange: validate the client's, then identify ourselves.
     if wire::read_hello(&mut reader).is_err() {
+        shared.obs.hello_failed();
         return;
     }
     if wire::write_hello(&mut writer).is_err() || writer.flush().is_err() {
+        shared.obs.hello_failed();
         return;
     }
 
@@ -348,6 +445,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Err(e) => {
                 // Hostile or corrupt bytes: report the typed error,
                 // then drop the connection — framing is unrecoverable.
+                // A failed decode never strands a session: the chunk is
+                // fully decoded before any checkout happens.
+                shared.obs.wire_error(&e);
                 let resp = Response::Error {
                     session: None,
                     message: e.to_string(),
@@ -360,16 +460,26 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Request::Open(open) => handle_open(shared, &open),
             Request::Chunk { session, records } => handle_chunk(shared, session, &records),
             Request::Close { session } => match shared.remove(session) {
-                Ok(state) => Response::Summary(Box::new(summarize(session, state))),
+                Ok(state) => {
+                    shared.obs.session_closed(session, state.fed);
+                    Response::Summary(Box::new(summarize(session, state)))
+                }
                 Err(msg) => Response::Error {
                     session: Some(session),
                     message: msg.into(),
                 },
             },
+            Request::Metrics { drain_events } => {
+                Response::MetricsReply(Box::new(shared.obs.render(drain_events)))
+            }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
+                shared.obs.drain_started(shared.table.lock().unwrap().len());
                 let drained = shared.drain_all();
                 let count = drained.len() as u32;
+                let still_busy = shared.table.lock().unwrap().len();
+                let ids: Vec<u32> = drained.iter().map(|(id, _)| *id).collect();
+                shared.obs.drain_finished(&ids, still_busy);
                 for (id, state) in drained {
                     let resp = Response::Summary(Box::new(summarize(id, state)));
                     if send(&mut writer, &mut frame, &mut scratch, &resp).is_err() {
@@ -393,6 +503,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 
 fn handle_open(shared: &Shared, open: &OpenRequest) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
+        shared.obs.open_rejected();
         return Response::Error {
             session: None,
             message: "server is shutting down".into(),
@@ -401,6 +512,7 @@ fn handle_open(shared: &Shared, open: &OpenRequest) -> Response {
     {
         let table = shared.table.lock().unwrap();
         if table.len() >= shared.config.max_sessions {
+            shared.obs.open_rejected();
             return Response::Error {
                 session: None,
                 message: format!("session table full ({} sessions)", table.len()),
@@ -409,19 +521,27 @@ fn handle_open(shared: &Shared, open: &OpenRequest) -> Response {
     }
     // Build the tenant's Session outside the lock — table geometry can
     // make this allocate tens of megabytes.
-    let state = Box::new(SessionState {
+    let mut state = Box::new(SessionState {
         session: build_session(open),
         fed: 0,
     });
     let mut table = shared.table.lock().unwrap();
     if table.len() >= shared.config.max_sessions {
+        let len = table.len();
+        drop(table);
+        shared.obs.open_rejected();
         return Response::Error {
             session: None,
-            message: format!("session table full ({} sessions)", table.len()),
+            message: format!("session table full ({len} sessions)"),
         };
     }
     let id = table.next_id;
     table.next_id = table.next_id.wrapping_add(1).max(1);
+    // The hook needs the assigned id (its metrics are labeled by it),
+    // so it is attached here rather than in the builder.
+    state
+        .session
+        .set_obs(shared.obs.session_opened(id, open.predictor));
     table.slots.insert(id, (Slot::Idle(state), Instant::now()));
     Response::Opened { session: id }
 }
@@ -433,7 +553,7 @@ fn handle_chunk(shared: &Shared, session: u32, records: &[stems_trace::Access]) 
             message: "server is shutting down".into(),
         };
     }
-    let mut state = match shared.checkout(session) {
+    let state = match shared.checkout(session) {
         Ok(state) => state,
         Err(msg) => {
             return Response::Error {
@@ -444,7 +564,11 @@ fn handle_chunk(shared: &Shared, session: u32, records: &[stems_trace::Access]) 
     };
     // The chunk runs outside the table lock: other tenants' chunks
     // proceed concurrently, and the drain path waits for this slot to
-    // check back in rather than observing a half-run session.
+    // check back in rather than observing a half-run session. The
+    // guard guarantees the `Busy` slot is repaired even if run_chunk
+    // panics (the worker's unwind would otherwise orphan it forever).
+    let mut guard = CheckoutGuard::new(shared, session, state);
+    let state = guard.state();
     state.session.run_chunk(records);
     state.fed += records.len() as u64;
     let stats = ChunkStats {
@@ -452,6 +576,102 @@ fn handle_chunk(shared: &Shared, session: u32, records: &[stems_trace::Access]) 
         accesses_fed: state.fed,
         counters: *state.session.counters(),
     };
-    shared.checkin(session, state);
+    guard.finish();
     Response::Stats(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stems_core::session::Predictor;
+    use stems_core::PrefetchConfig;
+    use stems_memsim::SystemConfig;
+
+    fn test_shared() -> Shared {
+        let config = ServerConfig {
+            event_capacity: 16,
+            ..ServerConfig::default()
+        };
+        Shared {
+            shutdown: AtomicBool::new(false),
+            table: Mutex::new(Table {
+                next_id: 1,
+                slots: HashMap::new(),
+            }),
+            obs: ServerObs::new(config.log, config.slow_chunk_nanos, config.event_capacity),
+            config,
+        }
+    }
+
+    fn open_session(shared: &Shared) -> u32 {
+        let open = OpenRequest {
+            system: SystemConfig::small(),
+            prefetch: PrefetchConfig::small(),
+            predictor: Predictor::Stems,
+            invalidations: None,
+        };
+        match handle_open(shared, &open) {
+            Response::Opened { session } => session,
+            other => panic!("open failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_chunk_repairs_the_busy_slot() {
+        // Without the guard, a panic mid-run_chunk leaves the slot
+        // `Busy` forever: unservable, unevictable, and drain_all spins
+        // on it until its deadline. The guard must remove the entry and
+        // record the abort instead.
+        let shared = test_shared();
+        let id = open_session(&shared);
+
+        let state = shared.checkout(id).expect("checkout");
+        let panic_result = {
+            // Silence the expected panic's default backtrace spew.
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut guard = CheckoutGuard::new(&shared, id, state);
+                let _ = guard.state();
+                panic!("simulated chunk crash");
+            }));
+            std::panic::set_hook(prev);
+            result
+        };
+        assert!(panic_result.is_err(), "the chunk must actually panic");
+
+        // The slot is gone, not stuck Busy: new requests get a clean
+        // "no such session", the table can accept fresh opens, and the
+        // drain path has nothing to wait on.
+        assert_eq!(shared.table.lock().unwrap().len(), 0);
+        assert_eq!(shared.checkout(id).err(), Some("no such session"));
+        let scrape = shared.obs.render(true);
+        assert!(scrape.exposition.contains("stems_sessions_aborted_total 1"));
+        assert!(scrape.exposition.contains("stems_sessions_open 0"));
+        assert!(scrape.events.contains("\"event\":\"session_abort\""));
+
+        // The table is still fully serviceable afterwards.
+        let id2 = open_session(&shared);
+        assert_ne!(id2, id);
+        let state2 = shared.checkout(id2).expect("checkout after repair");
+        let guard = CheckoutGuard::new(&shared, id2, state2);
+        guard.finish();
+        assert_eq!(shared.checkout(id2).map(|_| ()), Ok(()));
+    }
+
+    #[test]
+    fn finished_guard_checks_back_in_without_abort() {
+        let shared = test_shared();
+        let id = open_session(&shared);
+        let state = shared.checkout(id).expect("checkout");
+        let mut guard = CheckoutGuard::new(&shared, id, state);
+        guard.state().fed += 10;
+        guard.finish();
+        let back = shared.checkout(id).expect("still present");
+        assert_eq!(back.fed, 10);
+        shared.checkin(id, back);
+        let scrape = shared.obs.render(false);
+        assert!(scrape.exposition.contains("stems_sessions_aborted_total 0"));
+        assert!(scrape.exposition.contains("stems_sessions_open 1"));
+    }
 }

@@ -1,0 +1,102 @@
+//! Text helpers for the Prometheus-style metrics exposition format.
+//!
+//! One sample is one line: `name{label="value",...} value`. These
+//! helpers own the two fiddly parts — label-value escaping and number
+//! formatting — so every producer (the `stems-obs` registry, the
+//! server's scrape handler) renders byte-identical lines. The format
+//! itself is documented in `docs/OBSERVABILITY.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use stems_types::expo;
+//!
+//! let mut out = String::new();
+//! expo::write_sample(&mut out, "stems_chunks_total", &[("session", "3")], 42.0);
+//! assert_eq!(out, "stems_chunks_total{session=\"3\"} 42\n");
+//! ```
+
+use std::fmt::Write;
+
+/// Appends a label value with exposition escaping: backslash, double
+/// quote, and newline become `\\`, `\"`, and `\n`.
+pub fn write_escaped_label_value(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Appends a sample value: integral values print without a decimal
+/// point (counters stay exact and diff-friendly), fractional values
+/// print with three decimals.
+pub fn write_value(out: &mut String, value: f64) {
+    if value.fract() == 0.0 && value.abs() < 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", value as i64);
+    } else {
+        let _ = write!(out, "{value:.3}");
+    }
+}
+
+/// Appends one complete exposition line: `name{labels} value\n`. The
+/// brace block is omitted when `labels` is empty.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            write_escaped_label_value(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    write_value(out, value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_sample_has_no_brace_block() {
+        let mut out = String::new();
+        write_sample(&mut out, "stems_accesses_total", &[], 7.0);
+        assert_eq!(out, "stems_accesses_total 7\n");
+    }
+
+    #[test]
+    fn labels_render_in_order_with_escaping() {
+        let mut out = String::new();
+        write_sample(
+            &mut out,
+            "m",
+            &[("tenant", "a\"b\\c\nd"), ("predictor", "STeMS")],
+            1.0,
+        );
+        assert_eq!(out, "m{tenant=\"a\\\"b\\\\c\\nd\",predictor=\"STeMS\"} 1\n");
+    }
+
+    #[test]
+    fn values_format_integral_and_fractional() {
+        let mut out = String::new();
+        write_value(&mut out, 123456789.0);
+        assert_eq!(out, "123456789");
+        out.clear();
+        write_value(&mut out, 0.5);
+        assert_eq!(out, "0.500");
+        out.clear();
+        write_value(&mut out, -3.0);
+        assert_eq!(out, "-3");
+    }
+}

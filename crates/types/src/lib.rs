@@ -29,8 +29,10 @@
 
 pub mod addr;
 pub mod bitmap;
+pub mod clock;
 pub mod counter;
 pub mod crc;
+pub mod expo;
 pub mod hash;
 pub mod pattern;
 pub mod sequence;

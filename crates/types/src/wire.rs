@@ -153,6 +153,26 @@ impl fmt::Display for WireError {
     }
 }
 
+impl WireError {
+    /// A short, stable, lowercase identifier for this error's variant —
+    /// the `kind` label on the server's `stems_wire_errors_total`
+    /// metric and the `wire_error` observability event. Stable across
+    /// releases so dashboards keyed on it do not break.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WireError::BadMagic { .. } => "bad_magic",
+            WireError::UnsupportedVersion { .. } => "unsupported_version",
+            WireError::UnsupportedFlags { .. } => "unsupported_flags",
+            WireError::Truncated { .. } => "truncated",
+            WireError::Oversized { .. } => "oversized",
+            WireError::ChecksumMismatch { .. } => "checksum_mismatch",
+            WireError::UnknownKind { .. } => "unknown_kind",
+            WireError::Corrupt(_) => "corrupt",
+            WireError::Io(_) => "io",
+        }
+    }
+}
+
 impl std::error::Error for WireError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
