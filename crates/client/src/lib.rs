@@ -44,6 +44,10 @@ use stems_trace::store::TraceStoreError;
 use stems_trace::{Access, TraceReader};
 use stems_types::wire::{self, WireError};
 
+pub mod retry;
+
+pub use retry::{FaultStats, ResilientClient, RetryPolicy};
+
 /// Everything that can go wrong on the client side of a connection.
 #[derive(Debug)]
 pub enum ClientError {
@@ -56,6 +60,14 @@ pub enum ClientError {
         /// The server's description.
         message: String,
     },
+    /// The server's admission control turned the request away; retry
+    /// after the hinted delay (see [`RetryPolicy`]).
+    Busy {
+        /// The session the rejection concerns, when there is one.
+        session: Option<u32>,
+        /// The server's suggested retry delay.
+        retry_after_ms: u32,
+    },
     /// The server answered with a structurally valid response of the
     /// wrong kind for the request in flight.
     UnexpectedResponse {
@@ -66,6 +78,26 @@ pub enum ClientError {
     Disconnected,
     /// Reading the local trace store failed while streaming.
     Trace(TraceStoreError),
+}
+
+impl ClientError {
+    /// Whether a retry over a fresh connection can plausibly succeed:
+    /// transport faults, truncated/corrupted frames, clean disconnects,
+    /// and `Busy` rejections are transient; typed server errors and
+    /// protocol mismatches are not — with one exception: a server
+    /// `Error` carrying [`protocol::FRAMING_ERROR_PREFIX`] reports that
+    /// *our* bytes arrived mangled (the fault was in flight, not in the
+    /// request), so it retries like a transport fault.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Wire(e) => e.is_transient(),
+            ClientError::Busy { .. } | ClientError::Disconnected => true,
+            ClientError::Server { message, .. } => {
+                message.starts_with(protocol::FRAMING_ERROR_PREFIX)
+            }
+            ClientError::UnexpectedResponse { .. } | ClientError::Trace(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -83,6 +115,21 @@ impl fmt::Display for ClientError {
                 message,
             } => {
                 write!(f, "server error: {message}")
+            }
+            ClientError::Busy {
+                session: Some(s),
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "server busy (session {s}), retry after {retry_after_ms}ms"
+                )
+            }
+            ClientError::Busy {
+                session: None,
+                retry_after_ms,
+            } => {
+                write!(f, "server busy, retry after {retry_after_ms}ms")
             }
             ClientError::UnexpectedResponse { expected } => {
                 write!(f, "unexpected response (expected {expected})")
@@ -121,6 +168,18 @@ impl From<TraceStoreError> for ClientError {
     }
 }
 
+/// What a successful [`Client::resume`] reports back: where the
+/// server's journal stands and the session's current counters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResumeInfo {
+    /// The server's authoritative last applied sequence number.
+    pub last_seq: u64,
+    /// Records applied to the session so far.
+    pub accesses_fed: u64,
+    /// Current counter snapshot.
+    pub counters: stems_core::Counters,
+}
+
 /// One connection to a `stems-server` daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -130,10 +189,66 @@ pub struct Client {
     scratch: Vec<u8>,
 }
 
+/// Default bound on connection establishment (the OS default can hang
+/// for minutes against a blackholed address).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default per-read socket deadline applied at connect.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default per-write socket deadline applied at connect.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
 impl Client {
-    /// Connects and performs the hello exchange.
+    /// Connects with the default deadlines
+    /// ([`DEFAULT_CONNECT_TIMEOUT`], [`DEFAULT_READ_TIMEOUT`],
+    /// [`DEFAULT_WRITE_TIMEOUT`]) and performs the hello exchange.
+    /// Every timeout is in force before the first byte moves — there
+    /// is no window where a dead peer can hang the client.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(
+            addr,
+            DEFAULT_CONNECT_TIMEOUT,
+            DEFAULT_READ_TIMEOUT,
+            DEFAULT_WRITE_TIMEOUT,
+        )
+    }
+
+    /// Connects with explicit deadlines: `connect_timeout` bounds
+    /// establishment (each resolved address is tried in turn), and the
+    /// read/write timeouts are applied to the socket before the hello
+    /// exchange, atomically with the connect rather than via a
+    /// separate fallible call.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let mut last_err: Option<std::io::Error> = None;
+        let mut stream = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                return Err(last_err
+                    .unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                    .into())
+            }
+        };
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
         let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone()?;
         let mut client = Client {
@@ -147,17 +262,6 @@ impl Client {
         client.writer.flush()?;
         wire::read_hello(&mut client.reader)?;
         Ok(client)
-    }
-
-    /// Applies read/write timeouts to the underlying socket so a dead
-    /// server cannot block the client forever.
-    pub fn set_timeouts(&mut self, read: Duration, write: Duration) -> Result<(), ClientError> {
-        let stream = self.reader.get_ref();
-        stream.set_read_timeout(Some(read)).map_err(WireError::Io)?;
-        stream
-            .set_write_timeout(Some(write))
-            .map_err(WireError::Io)?;
-        Ok(())
     }
 
     fn send(&mut self, req: &Request) -> Result<(), ClientError> {
@@ -180,6 +284,13 @@ impl Client {
         self.send(&Request::Open(Box::new(open.clone())))?;
         match self.read_response()? {
             Response::Opened { session } => Ok(session),
+            Response::Busy {
+                session,
+                retry_after_ms,
+            } => Err(ClientError::Busy {
+                session,
+                retry_after_ms,
+            }),
             Response::Error { session, message } => Err(ClientError::Server { session, message }),
             _ => Err(ClientError::UnexpectedResponse { expected: "Opened" }),
         }
@@ -207,10 +318,72 @@ impl Client {
         Ok(())
     }
 
+    /// Queues one *sequenced* chunk ([`Request::SeqChunk`]) without
+    /// waiting for its snapshot. Sequenced chunks are what make a
+    /// session resumable: the server journals `seq` and skips
+    /// retransmits idempotently.
+    pub fn write_seq_chunk(
+        &mut self,
+        session: u32,
+        seq: u64,
+        records: &[Access],
+    ) -> Result<(), ClientError> {
+        self.frame.clear();
+        protocol::encode_seq_chunk(&mut self.frame, &mut self.scratch, session, seq, records);
+        self.writer.write_all(&self.frame)?;
+        Ok(())
+    }
+
+    /// Queues an already-encoded wire frame verbatim (the retry layer's
+    /// resend path: buffered frames go out again byte-identically).
+    pub(crate) fn write_frame_bytes(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.writer.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Re-attaches to a live session after a reconnect: tells the
+    /// server the last sequence number this client saw acknowledged and
+    /// gets back the server's authoritative journal position (which can
+    /// only be at or ahead of `last_seq`) plus the current counter
+    /// snapshot.
+    pub fn resume(&mut self, session: u32, last_seq: u64) -> Result<ResumeInfo, ClientError> {
+        self.send(&Request::Resume { session, last_seq })?;
+        match self.read_response()? {
+            Response::Resumed {
+                session: _,
+                last_seq,
+                accesses_fed,
+                counters,
+            } => Ok(ResumeInfo {
+                last_seq,
+                accesses_fed,
+                counters,
+            }),
+            Response::Busy {
+                session,
+                retry_after_ms,
+            } => Err(ClientError::Busy {
+                session,
+                retry_after_ms,
+            }),
+            Response::Error { session, message } => Err(ClientError::Server { session, message }),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "Resumed",
+            }),
+        }
+    }
+
     /// Reads one owed counter snapshot (flushing queued chunks first).
     pub fn read_stats(&mut self) -> Result<ChunkStats, ClientError> {
         match self.read_response()? {
             Response::Stats(stats) => Ok(stats),
+            Response::Busy {
+                session,
+                retry_after_ms,
+            } => Err(ClientError::Busy {
+                session,
+                retry_after_ms,
+            }),
             Response::Error { session, message } => Err(ClientError::Server { session, message }),
             _ => Err(ClientError::UnexpectedResponse { expected: "Stats" }),
         }
@@ -267,6 +440,13 @@ impl Client {
         self.send(&Request::Close { session })?;
         match self.read_response()? {
             Response::Summary(summary) => Ok(*summary),
+            Response::Busy {
+                session,
+                retry_after_ms,
+            } => Err(ClientError::Busy {
+                session,
+                retry_after_ms,
+            }),
             Response::Error { session, message } => Err(ClientError::Server { session, message }),
             _ => Err(ClientError::UnexpectedResponse {
                 expected: "Summary",

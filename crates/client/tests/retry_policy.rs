@@ -1,0 +1,104 @@
+//! Property tests for the retry policy's backoff schedule: for any
+//! seed and configuration, the jitter schedule is a reproducible pure
+//! function of `(seed, attempt)`, every delay respects the configured
+//! cap and the half-raw jitter floor, and the `Busy` path honors the
+//! server's hint without ever exceeding the cap.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use stems_client::RetryPolicy;
+
+fn policy(base_ms: u64, max_ms: u64, seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        base_delay: Duration::from_millis(base_ms),
+        max_delay: Duration::from_millis(max_ms),
+        jitter_seed: seed,
+        ..RetryPolicy::default()
+    }
+}
+
+proptest! {
+    /// Same `(seed, attempt)`, same delay — across fresh policy values,
+    /// so no hidden state can leak between calls.
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_attempt(
+        seed in any::<u64>(),
+        base_ms in 1u64..100,
+        max_ms in 100u64..5_000,
+        attempt in 0u32..64,
+    ) {
+        let a = policy(base_ms, max_ms, seed).delay(attempt);
+        let b = policy(base_ms, max_ms, seed).delay(attempt);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every delay is within `[raw/2, raw]` where `raw` is the capped
+    /// exponential — jitter can only shave, never inflate, and the cap
+    /// is never exceeded by any attempt index, including saturating
+    /// ones.
+    #[test]
+    fn delays_are_bounded_by_cap_and_jitter_floor(
+        seed in any::<u64>(),
+        base_ms in 1u64..100,
+        max_ms in 100u64..5_000,
+        attempt in 0u32..64,
+    ) {
+        let p = policy(base_ms, max_ms, seed);
+        // Saturating attempt indices obey the cap too.
+        for attempt in [attempt, u32::MAX] {
+            let raw = p.base_delay
+                .saturating_mul(1u32 << attempt.min(31))
+                .min(p.max_delay);
+            let d = p.delay(attempt);
+            prop_assert!(d <= p.max_delay, "attempt {} exceeded the cap: {:?}", attempt, d);
+            prop_assert!(d >= raw / 2, "attempt {} under the jitter floor: {:?} < {:?}", attempt, d, raw / 2);
+            prop_assert!(d <= raw, "jitter inflated the raw delay: {:?} > {:?}", d, raw);
+        }
+    }
+
+    /// The exponential actually grows until it reaches the cap: the
+    /// jitter floor of a later attempt eventually clears the ceiling of
+    /// an early one.
+    #[test]
+    fn backoff_grows_toward_the_cap(
+        seed in any::<u64>(),
+        base_ms in 1u64..20,
+    ) {
+        let p = policy(base_ms, 60_000, seed);
+        // Raw doubles each attempt; by attempt 3 the floor (raw/2 =
+        // 4*base) is above attempt 0's ceiling (raw = base).
+        prop_assert!(p.delay(3) > p.delay(0));
+    }
+
+    /// `busy_delay` is at least the server's hint and at least the
+    /// schedule's own backoff, but still capped.
+    #[test]
+    fn busy_delay_honors_hint_schedule_and_cap(
+        seed in any::<u64>(),
+        base_ms in 1u64..100,
+        max_ms in 100u64..5_000,
+        attempt in 0u32..64,
+        hint_ms in 0u32..10_000,
+    ) {
+        let p = policy(base_ms, max_ms, seed);
+        let d = p.busy_delay(attempt, hint_ms);
+        let hint = Duration::from_millis(u64::from(hint_ms));
+        prop_assert!(d <= p.max_delay);
+        prop_assert!(d >= hint.min(p.max_delay), "hint ignored: {:?} < {:?}", d, hint);
+        prop_assert!(d >= p.delay(attempt).min(p.max_delay), "schedule ignored");
+    }
+
+    /// Different seeds disagree somewhere in the first attempts — the
+    /// jitter is real, not a constant factor.
+    #[test]
+    fn different_seeds_produce_different_schedules(
+        seed in any::<u64>(),
+    ) {
+        let a = policy(10, 5_000, seed);
+        let b = policy(10, 5_000, seed.wrapping_add(1));
+        let differs = (0..16).any(|n| a.delay(n) != b.delay(n));
+        prop_assert!(differs, "seeds {} and {} agree on 16 delays", seed, seed.wrapping_add(1));
+    }
+}

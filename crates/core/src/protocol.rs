@@ -57,6 +57,13 @@ pub const KIND_SHUTDOWN: u8 = 0x04;
 /// Message kind: client asks for a metrics scrape (and optionally the
 /// buffered event log).
 pub const KIND_METRICS: u8 = 0x05;
+/// Message kind: client streams a *sequenced* chunk — a `Chunk` plus a
+/// monotonic per-session sequence number, the resumable-delivery path
+/// (`docs/FAULT_TOLERANCE.md`).
+pub const KIND_SEQ_CHUNK: u8 = 0x06;
+/// Message kind: a reconnecting client re-attaches to a session and
+/// asks where delivery stopped.
+pub const KIND_RESUME: u8 = 0x07;
 /// Message kind: server acknowledges an open with the session id.
 pub const KIND_OPENED: u8 = 0x81;
 /// Message kind: server returns a counter snapshot after a chunk.
@@ -67,8 +74,22 @@ pub const KIND_SUMMARY: u8 = 0x83;
 pub const KIND_SHUTDOWN_ACK: u8 = 0x84;
 /// Message kind: server returns a rendered metrics scrape.
 pub const KIND_METRICS_REPLY: u8 = 0x85;
+/// Message kind: server answers a `Resume` with the session's journal
+/// position (last applied sequence number + counter snapshot).
+pub const KIND_RESUMED: u8 = 0x86;
+/// Message kind: server sheds load — the request was refused by
+/// admission control and is safe to retry after a hinted delay.
+pub const KIND_BUSY: u8 = 0x87;
 /// Message kind: server reports a typed failure.
 pub const KIND_ERROR: u8 = 0x8F;
+
+/// Prefix the server puts on `Error` messages that report a *framing*
+/// failure (corrupt, truncated, or oversized bytes on the wire) rather
+/// than an application-level refusal. A client seeing it knows the
+/// request may have been mangled in flight and is safe to retry over a
+/// fresh connection (idempotently, via the resume protocol) — unlike
+/// every other server error, which is authoritative.
+pub const FRAMING_ERROR_PREFIX: &str = "bad frame: ";
 
 /// Upper bound accepted for any table-size field in a decoded config.
 /// A corrupt-but-checksummed open request must not drive a giant
@@ -140,6 +161,32 @@ pub enum Request {
         /// The records, in trace order.
         records: Vec<Access>,
     },
+    /// Feed a *sequenced* chunk: like [`Request::Chunk`], but tagged
+    /// with a monotonic per-session sequence number so delivery is
+    /// idempotent — a chunk whose `seq` the session has already applied
+    /// is skipped and answered from the journal instead of re-run
+    /// (exactly-once application under retries).
+    SeqChunk {
+        /// Target session id.
+        session: u32,
+        /// 1-based position of this chunk in the session's stream. The
+        /// server applies `seq == last_seq + 1`, dedupes
+        /// `seq <= last_seq`, and rejects gaps.
+        seq: u64,
+        /// The records, in trace order.
+        records: Vec<Access>,
+    },
+    /// Re-attach to a session after a connection fault and learn where
+    /// delivery stopped. `last_seq` is the highest sequence number the
+    /// client saw acknowledged; the server replies
+    /// [`Response::Resumed`] with its own (authoritative, possibly
+    /// higher) journal position.
+    Resume {
+        /// Session to re-attach to.
+        session: u32,
+        /// Highest sequence number the client saw acknowledged.
+        last_seq: u64,
+    },
     /// Close a session; the server replies with its [`SessionSummary`].
     Close {
         /// Session to close.
@@ -172,6 +219,29 @@ pub enum Response {
     Summary(Box<SessionSummary>),
     /// A rendered metrics scrape.
     MetricsReply(Box<MetricsReply>),
+    /// Answer to [`Request::Resume`]: the session's journal position.
+    /// The client drops buffered chunks with `seq <= last_seq` (they
+    /// were applied) and resends the rest.
+    Resumed {
+        /// The re-attached session.
+        session: u32,
+        /// Highest sequence number the session has applied.
+        last_seq: u64,
+        /// Cumulative records fed through `last_seq`.
+        accesses_fed: u64,
+        /// Counter snapshot at `last_seq` (not finalized).
+        counters: Counters,
+    },
+    /// Admission control refused the request; unlike [`Response::Error`]
+    /// this is a *retryable* condition — the server is shedding load,
+    /// not reporting a broken request. Clients should back off at least
+    /// `retry_after_ms` before retrying.
+    Busy {
+        /// The session the refusal concerns, when there is one.
+        session: Option<u32>,
+        /// Server's load-derived hint for the minimum retry delay.
+        retry_after_ms: u32,
+    },
     /// Drain finished; the server is about to close the connection.
     ShutdownAck {
         /// How many sessions were drained (their summaries precede
@@ -396,6 +466,23 @@ pub fn encode_chunk(out: &mut Vec<u8>, scratch: &mut Vec<u8>, session: u32, reco
     wire::encode_message(out, KIND_CHUNK, scratch);
 }
 
+/// Appends one complete `SeqChunk` wire message for borrowed records —
+/// the resumable streaming client's hot path (see [`encode_chunk`]).
+pub fn encode_seq_chunk(
+    out: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    session: u32,
+    seq: u64,
+    records: &[Access],
+) {
+    scratch.clear();
+    varint::write_u64(scratch, session as u64);
+    varint::write_u64(scratch, seq);
+    varint::write_u64(scratch, records.len() as u64);
+    encode_records(records, scratch);
+    wire::encode_message(out, KIND_SEQ_CHUNK, scratch);
+}
+
 // --- requests -------------------------------------------------------
 
 impl Request {
@@ -404,6 +491,8 @@ impl Request {
         match self {
             Request::Open(_) => KIND_OPEN,
             Request::Chunk { .. } => KIND_CHUNK,
+            Request::SeqChunk { .. } => KIND_SEQ_CHUNK,
+            Request::Resume { .. } => KIND_RESUME,
             Request::Close { .. } => KIND_CLOSE,
             Request::Shutdown => KIND_SHUTDOWN,
             Request::Metrics { .. } => KIND_METRICS,
@@ -419,6 +508,20 @@ impl Request {
         match self {
             Request::Open(o) => write_open(scratch, o),
             Request::Chunk { session, records } => encode_chunk_payload(scratch, *session, records),
+            Request::SeqChunk {
+                session,
+                seq,
+                records,
+            } => {
+                varint::write_u64(scratch, *session as u64);
+                varint::write_u64(scratch, *seq);
+                varint::write_u64(scratch, records.len() as u64);
+                encode_records(records, scratch);
+            }
+            Request::Resume { session, last_seq } => {
+                varint::write_u64(scratch, *session as u64);
+                varint::write_u64(scratch, *last_seq);
+            }
             Request::Close { session } => varint::write_u64(scratch, *session as u64),
             Request::Shutdown => {}
             Request::Metrics { drain_events } => scratch.push(*drain_events as u8),
@@ -442,6 +545,26 @@ impl Request {
                     .map_err(WireError::Corrupt)?;
                 return Ok(Request::Chunk { session, records });
             }
+            KIND_SEQ_CHUNK => {
+                let session = read_u32(payload, &mut pos, "truncated seq chunk header")?;
+                let seq = read_u64(payload, &mut pos, "truncated seq chunk header")?;
+                let count = read_u32(payload, &mut pos, "truncated seq chunk header")?;
+                if count as usize > MAX_FRAME_RECORDS {
+                    return Err(WireError::Corrupt("chunk record count out of range"));
+                }
+                let mut records = Vec::new();
+                decode_records(&payload[pos..], count as usize, &mut records)
+                    .map_err(WireError::Corrupt)?;
+                return Ok(Request::SeqChunk {
+                    session,
+                    seq,
+                    records,
+                });
+            }
+            KIND_RESUME => Request::Resume {
+                session: read_u32(payload, &mut pos, "truncated resume")?,
+                last_seq: read_u64(payload, &mut pos, "truncated resume")?,
+            },
             KIND_CLOSE => Request::Close {
                 session: read_u32(payload, &mut pos, "truncated close")?,
             },
@@ -502,6 +625,8 @@ impl Response {
             Response::Stats(_) => KIND_STATS,
             Response::Summary(_) => KIND_SUMMARY,
             Response::MetricsReply(_) => KIND_METRICS_REPLY,
+            Response::Resumed { .. } => KIND_RESUMED,
+            Response::Busy { .. } => KIND_BUSY,
             Response::ShutdownAck { .. } => KIND_SHUTDOWN_ACK,
             Response::Error { .. } => KIND_ERROR,
         }
@@ -549,6 +674,30 @@ impl Response {
                 scratch.extend_from_slice(m.exposition.as_bytes());
                 varint::write_u64(scratch, m.events.len() as u64);
                 scratch.extend_from_slice(m.events.as_bytes());
+            }
+            Response::Resumed {
+                session,
+                last_seq,
+                accesses_fed,
+                counters,
+            } => {
+                varint::write_u64(scratch, *session as u64);
+                varint::write_u64(scratch, *last_seq);
+                varint::write_u64(scratch, *accesses_fed);
+                write_counters(scratch, counters);
+            }
+            Response::Busy {
+                session,
+                retry_after_ms,
+            } => {
+                match session {
+                    None => scratch.push(0),
+                    Some(s) => {
+                        scratch.push(1);
+                        varint::write_u64(scratch, *s as u64);
+                    }
+                }
+                varint::write_u64(scratch, *retry_after_ms as u64);
             }
             Response::ShutdownAck { drained } => varint::write_u64(scratch, *drained as u64),
             Response::Error { session, message } => {
@@ -632,6 +781,27 @@ impl Response {
                 let exposition = read_text("truncated metrics exposition")?;
                 let events = read_text("truncated metrics events")?;
                 Response::MetricsReply(Box::new(MetricsReply { exposition, events }))
+            }
+            KIND_RESUMED => Response::Resumed {
+                session: read_u32(payload, &mut pos, "truncated resumed")?,
+                last_seq: read_u64(payload, &mut pos, "truncated resumed")?,
+                accesses_fed: read_u64(payload, &mut pos, "truncated resumed")?,
+                counters: read_counters(payload, &mut pos)?,
+            },
+            KIND_BUSY => {
+                let flag = *payload
+                    .get(pos)
+                    .ok_or(WireError::Corrupt("truncated busy"))?;
+                pos += 1;
+                let session = match flag {
+                    0 => None,
+                    1 => Some(read_u32(payload, &mut pos, "truncated busy")?),
+                    _ => return Err(WireError::Corrupt("bad busy session flag")),
+                };
+                Response::Busy {
+                    session,
+                    retry_after_ms: read_u32(payload, &mut pos, "truncated busy")?,
+                }
             }
             KIND_SHUTDOWN_ACK => Response::ShutdownAck {
                 drained: read_u32(payload, &mut pos, "truncated shutdown ack")?,
@@ -736,6 +906,26 @@ mod tests {
                 session: 0,
                 records: Vec::new(),
             },
+            Request::SeqChunk {
+                session: 7,
+                seq: 1,
+                records: (0..50)
+                    .map(|i| Access::read(Pc::new(0x800 + i * 4), Addr::new(i * 64)))
+                    .collect(),
+            },
+            Request::SeqChunk {
+                session: 1,
+                seq: u64::MAX,
+                records: Vec::new(),
+            },
+            Request::Resume {
+                session: 7,
+                last_seq: 0,
+            },
+            Request::Resume {
+                session: 3,
+                last_seq: 0xFFFF_FFFF_FFFF,
+            },
             Request::Close { session: 9 },
             Request::Shutdown,
             Request::Metrics {
@@ -794,6 +984,20 @@ mod tests {
                 events: "{\"nanos\":1,\"level\":\"INFO\",\"event\":\"session_open\"}\n".into(),
             })),
             Response::MetricsReply(Box::default()),
+            Response::Resumed {
+                session: 3,
+                last_seq: 17,
+                accesses_fed: 1234,
+                counters,
+            },
+            Response::Busy {
+                session: Some(3),
+                retry_after_ms: 250,
+            },
+            Response::Busy {
+                session: None,
+                retry_after_ms: 0,
+            },
             Response::ShutdownAck { drained: 2 },
             Response::Error {
                 session: Some(1),
@@ -915,5 +1119,74 @@ mod tests {
             Request::decode(KIND_CHUNK, &huge),
             Err(WireError::Corrupt("chunk record count out of range"))
         ));
+    }
+
+    #[test]
+    fn seq_chunk_helper_matches_owned_encoding() {
+        let records: Vec<Access> = (0..64)
+            .map(|i| Access::read(Pc::new(0x400 + i * 4), Addr::new(i * 64)))
+            .collect();
+        let mut owned = Vec::new();
+        let mut scratch = Vec::new();
+        Request::SeqChunk {
+            session: 5,
+            seq: 42,
+            records: records.clone(),
+        }
+        .encode(&mut owned, &mut scratch);
+        let mut borrowed = Vec::new();
+        encode_seq_chunk(&mut borrowed, &mut scratch, 5, 42, &records);
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn hostile_seq_chunk_and_resume_payloads_are_typed_errors() {
+        // Oversized count is rejected before any column decoding.
+        let mut huge = Vec::new();
+        varint::write_u64(&mut huge, 1); // session
+        varint::write_u64(&mut huge, 7); // seq
+        varint::write_u64(&mut huge, (MAX_FRAME_RECORDS + 1) as u64);
+        assert!(matches!(
+            Request::decode(KIND_SEQ_CHUNK, &huge),
+            Err(WireError::Corrupt("chunk record count out of range"))
+        ));
+        // Truncation at every byte boundary is typed, never a panic.
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let records: Vec<Access> = (0..4)
+            .map(|i| Access::read(Pc::new(0x400), Addr::new(i * 64)))
+            .collect();
+        encode_seq_chunk(&mut out, &mut scratch, 3, 9, &records);
+        let (_, payload, _) = wire::decode_message(&out).unwrap();
+        for cut in 0..payload.len() {
+            assert!(Request::decode(KIND_SEQ_CHUNK, &payload[..cut]).is_err());
+        }
+        assert!(Request::decode(KIND_RESUME, &[]).is_err());
+        // Resume with trailing bytes is rejected.
+        let mut resume = Vec::new();
+        varint::write_u64(&mut resume, 3);
+        varint::write_u64(&mut resume, 9);
+        resume.push(0);
+        assert!(matches!(
+            Request::decode(KIND_RESUME, &resume),
+            Err(WireError::Corrupt("trailing bytes after request"))
+        ));
+    }
+
+    #[test]
+    fn hostile_busy_payloads_are_typed_errors() {
+        assert!(matches!(
+            Response::decode(KIND_BUSY, &[]),
+            Err(WireError::Corrupt("truncated busy"))
+        ));
+        assert!(matches!(
+            Response::decode(KIND_BUSY, &[2]),
+            Err(WireError::Corrupt("bad busy session flag"))
+        ));
+        assert!(matches!(
+            Response::decode(KIND_BUSY, &[1]),
+            Err(WireError::Corrupt("truncated busy"))
+        ));
+        assert!(Response::decode(KIND_RESUMED, &[]).is_err());
     }
 }

@@ -16,9 +16,17 @@
 //! `info` auto-detects a legacy `STEMSTR1` blob and reads that too.
 //! `verify` is the round-trip oracle used by CI: every predictor's
 //! counters from streaming replay must equal the in-memory run's.
+//! `verify --repair` first truncates a damaged store to its last valid
+//! frame boundary (`TraceReader::recover_tail`) so an interrupted
+//! capture reads cleanly again — note a repaired file holds a *prefix*
+//! of the workload, so full verification still reports the shortfall.
 //! `replay --remote` streams the store to a running `stems-serve`
 //! daemon instead, using the identical session configuration, so its
 //! counters line up with the local replay row for row-by-row diffing.
+//! `--retry` swaps in the resilient client (`docs/FAULT_TOLERANCE.md`):
+//! transient faults heal via backoff + resume, and a trailing
+//! `fault-stats:` line reports what was healed (`--retry-seed` pins the
+//! jitter schedule for reproducible chaos runs).
 //! `metrics --remote` scrapes a live daemon's observability registry
 //! (`docs/OBSERVABILITY.md`) and prints the text exposition; `--events`
 //! also drains the daemon's event ring as JSON-lines.
@@ -50,8 +58,10 @@ fn usage() -> ExitCode {
     eprintln!("       tracegen capture-all <dir> [--scale f] [--seed n] [--threads n]");
     eprintln!("       tracegen info <file>");
     eprintln!("       tracegen replay <file> --workload <w> [--predictor <p>] [--scale f]");
-    eprintln!("                       [--remote HOST:PORT [--window n]]");
-    eprintln!("       tracegen verify <workload> <file> [--scale f] [--seed n]");
+    eprintln!(
+        "                       [--remote HOST:PORT [--window n] [--retry [--retry-seed n]]]"
+    );
+    eprintln!("       tracegen verify <workload> <file> [--scale f] [--seed n] [--repair]");
     eprintln!("       tracegen metrics --remote HOST:PORT [--events]");
     ExitCode::FAILURE
 }
@@ -208,6 +218,10 @@ fn replay(args: &[String]) -> ExitCode {
         let window: usize = arg_after("--window")
             .and_then(|w| w.parse().ok())
             .unwrap_or(4);
+        if args.iter().any(|a| a == "--retry") {
+            let seed = arg_after("--retry-seed").and_then(|s| s.parse().ok());
+            return resilient_replay(path, workload, predictor, &sys, addr, window, seed);
+        }
         return remote_replay(path, workload, predictor, &sys, addr, window);
     }
     match replay_coverage(workload, predictor, path, &sys) {
@@ -263,6 +277,63 @@ fn remote_replay(
     }
 }
 
+/// Like [`remote_replay`], but through [`stems_client::ResilientClient`]:
+/// transient faults (torn connections, corrupt frames, `Busy`
+/// shedding) heal via backoff + resume instead of failing the replay.
+/// Prints one `fault-stats:` line so chaos harnesses can reconcile the
+/// client's healing against a fault proxy's injection log.
+#[allow(clippy::too_many_arguments)]
+fn resilient_replay(
+    path: &str,
+    workload: Workload,
+    predictor: Predictor,
+    sys: &stems_memsim::SystemConfig,
+    addr: &str,
+    window: usize,
+    seed: Option<u64>,
+) -> ExitCode {
+    let open = remote_open_request(workload, predictor, sys);
+    let mut reader = match TraceReader::open(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut policy = stems_client::RetryPolicy::default();
+    if let Some(seed) = seed {
+        policy.jitter_seed = seed;
+    }
+    let mut client = stems_client::ResilientClient::new(addr, policy);
+    let result = (|| -> Result<_, stems_client::ClientError> {
+        let session = client.open(&open)?;
+        let (fed, _) = client.stream(session, &mut reader, window)?;
+        let summary = client.close(session)?;
+        Ok((fed, summary))
+    })();
+    match result {
+        Ok((fed, summary)) => {
+            let stats = client.stats();
+            println!("{path}: streamed {fed} accesses to {addr} through {predictor} (resilient)");
+            counters_row(predictor.name(), &summary.counters);
+            println!(
+                "fault-stats: reconnects={} resumes={} busy_retries={} \
+                 chunks_resent={} chunks_deduped={}",
+                stats.reconnects,
+                stats.resumes,
+                stats.busy_retries,
+                stats.chunks_resent,
+                stats.chunks_deduped
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("remote replay failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Scrapes a live daemon's metrics over the wire protocol and prints
 /// the text exposition to stdout. With `--events`, the daemon's event
 /// ring is drained and printed after the exposition (separated by a
@@ -305,6 +376,26 @@ fn verify(args: &[String]) -> ExitCode {
     };
     let path = &args[1];
     let settings = Settings::from_args(args[2..].iter().cloned());
+    if args[2..].iter().any(|a| a == "--repair") {
+        match stems_trace::store::TraceReader::recover_tail(path) {
+            Ok(report) if report.was_damaged => {
+                println!(
+                    "repaired {path}: kept {} frames ({} records), cut {} damaged tail bytes",
+                    report.frames_kept, report.records_kept, report.bytes_truncated
+                );
+            }
+            Ok(report) => {
+                println!(
+                    "no repair needed: {} frames ({} records) all valid",
+                    report.frames_kept, report.records_kept
+                );
+            }
+            Err(e) => {
+                eprintln!("repair failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let sys = system_config(settings.scale);
     let trace = workload.generate_scaled(settings.scale, settings.seed);
     let mut failed = false;

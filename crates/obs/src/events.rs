@@ -85,6 +85,14 @@ pub enum EventKind {
         /// Total accesses fed over the session's lifetime.
         accesses: u64,
     },
+    /// A reconnecting client re-attached to a live session and the
+    /// server replied with its journal position.
+    SessionResume {
+        /// Server-assigned session id.
+        session: u32,
+        /// The server's authoritative last applied sequence number.
+        last_seq: u64,
+    },
     /// The idle sweeper reclaimed a session past its TTL.
     SessionEvict {
         /// Server-assigned session id.
@@ -137,6 +145,7 @@ impl EventKind {
         match self {
             EventKind::SessionOpen { .. } => "session_open",
             EventKind::SessionClose { .. } => "session_close",
+            EventKind::SessionResume { .. } => "session_resume",
             EventKind::SessionEvict { .. } => "session_evict",
             EventKind::SessionAbort { .. } => "session_abort",
             EventKind::DrainStart { .. } => "drain_start",
@@ -154,6 +163,7 @@ impl EventKind {
             EventKind::SessionEvict { .. } | EventKind::SlowChunk { .. } => LogLevel::Warn,
             EventKind::SessionOpen { .. }
             | EventKind::SessionClose { .. }
+            | EventKind::SessionResume { .. }
             | EventKind::DrainStart { .. }
             | EventKind::DrainFinish { .. } => LogLevel::Info,
             EventKind::Log { level, .. } => *level,
@@ -209,6 +219,9 @@ impl Event {
             EventKind::SessionClose { session, accesses } => {
                 write!(out, ",\"session\":{session},\"accesses\":{accesses}").unwrap();
             }
+            EventKind::SessionResume { session, last_seq } => {
+                write!(out, ",\"session\":{session},\"last_seq\":{last_seq}").unwrap();
+            }
             EventKind::SessionEvict { session } => {
                 write!(out, ",\"session\":{session}").unwrap();
             }
@@ -258,6 +271,9 @@ impl Event {
             }
             EventKind::SessionClose { session, accesses } => {
                 write!(out, "session {session} closed after {accesses} accesses").unwrap();
+            }
+            EventKind::SessionResume { session, last_seq } => {
+                write!(out, "session {session} resumed at seq {last_seq}").unwrap();
             }
             EventKind::SessionEvict { session } => {
                 write!(out, "session {session} evicted (idle past TTL)").unwrap();

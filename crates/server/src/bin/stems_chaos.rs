@@ -1,0 +1,114 @@
+//! `stems-chaos` — fault-injection TCP proxy for chaos testing.
+//!
+//! ```text
+//! stems-chaos --upstream HOST:PORT [--listen HOST:PORT] [--port-file PATH]
+//!             [--seed N] [--fault-rate F] [--delay-rate F] [--delay-ms N]
+//!             [--split-rate F]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0` — an ephemeral port), prints the bound
+//! address on stdout, optionally writes the bound port to
+//! `--port-file`, and proxies every connection to `--upstream` with
+//! deterministic seeded faults (see `docs/FAULT_TOLERANCE.md`). Each
+//! fired fatal fault prints one `chaos: fatal kind=... conn=N ...`
+//! line to stdout — CI counts those lines and reconciles them against
+//! the client's reported reconnects and the server's shed metrics.
+//!
+//! Runs until killed; rates default to 0 (a transparent proxy).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use stems_server::chaos::{ChaosConfig, ChaosProxy};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stems-chaos --upstream HOST:PORT [--listen HOST:PORT] [--port-file PATH]\n\
+         \x20                  [--seed N] [--fault-rate F] [--delay-rate F] [--delay-ms N]\n\
+         \x20                  [--split-rate F]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut upstream: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut config = ChaosConfig {
+        verbose: true,
+        ..ChaosConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--listen" => listen = value("--listen"),
+            "--upstream" => upstream = Some(value("--upstream")),
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--seed" => config.seed = parse_u64(&value("--seed")),
+            "--fault-rate" => config.fault_rate = parse_rate(&value("--fault-rate")),
+            "--delay-rate" => config.delay_rate = parse_rate(&value("--delay-rate")),
+            "--delay-ms" => config.delay = Duration::from_millis(parse_u64(&value("--delay-ms"))),
+            "--split-rate" => config.split_rate = parse_rate(&value("--split-rate")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(upstream) = upstream else {
+        eprintln!("--upstream is required");
+        usage();
+    };
+
+    let proxy = match ChaosProxy::spawn(&listen, upstream.clone(), config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("stems-chaos: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = proxy.local_addr();
+    println!(
+        "proxying {bound} -> {upstream} (seed={} fault-rate={} delay-rate={} split-rate={})",
+        config.seed, config.fault_rate, config.delay_rate, config.split_rate
+    );
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", bound.port())) {
+            eprintln!("stems-chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Serve until killed: park forever. The accept thread does the
+    // work; `proxy` stays alive (and its Drop never runs — the process
+    // exits with the threads), which is exactly what a kill expects.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse_u64(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s}");
+        usage();
+    })
+}
+
+fn parse_rate(s: &str) -> f64 {
+    let rate: f64 = s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s}");
+        usage();
+    });
+    if !(0.0..=1.0).contains(&rate) {
+        eprintln!("rate out of range [0, 1]: {s}");
+        usage();
+    }
+    rate
+}

@@ -6,6 +6,8 @@
 //!             [--session-ttl-secs N] [--max-sessions N]
 //!             [--log-level error|warn|info|debug] [--quiet]
 //!             [--slow-chunk-ms N] [--event-capacity N]
+//!             [--max-concurrent-chunks N] [--max-connections N]
+//!             [--busy-retry-ms N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0` — an ephemeral port), prints the bound
@@ -32,7 +34,9 @@ fn usage() -> ! {
          \x20                  [--read-timeout-secs N] [--write-timeout-secs N]\n\
          \x20                  [--session-ttl-secs N] [--max-sessions N]\n\
          \x20                  [--log-level error|warn|info|debug] [--quiet]\n\
-         \x20                  [--slow-chunk-ms N] [--event-capacity N]"
+         \x20                  [--slow-chunk-ms N] [--event-capacity N]\n\
+         \x20                  [--max-concurrent-chunks N] [--max-connections N]\n\
+         \x20                  [--busy-retry-ms N]"
     );
     std::process::exit(2);
 }
@@ -77,6 +81,13 @@ fn main() -> ExitCode {
             "--event-capacity" => {
                 config.event_capacity = parse(&value("--event-capacity")) as usize
             }
+            "--max-concurrent-chunks" => {
+                config.max_concurrent_chunks = parse(&value("--max-concurrent-chunks")) as usize
+            }
+            "--max-connections" => {
+                config.max_connections = parse(&value("--max-connections")) as usize
+            }
+            "--busy-retry-ms" => config.busy_retry_ms = parse(&value("--busy-retry-ms")) as u32,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");

@@ -45,11 +45,11 @@
 //! server.run().unwrap(); // blocks until a client sends Shutdown
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -59,6 +59,7 @@ use stems_core::Session;
 use stems_obs::LogLevel;
 use stems_types::wire::{self, WireError};
 
+pub mod chaos;
 pub mod obs;
 
 pub use obs::ServerObs;
@@ -84,6 +85,18 @@ pub struct ServerConfig {
     pub slow_chunk_nanos: u64,
     /// Capacity of the bounded event ring.
     pub event_capacity: usize,
+    /// Upper bound on chunks resident in workers at once, across all
+    /// connections. At the cap new chunks answer `Busy`; at half the
+    /// cap new `Open`s already answer `Busy`, so load-shedding rejects
+    /// new tenants before it starves checked-out ones.
+    pub max_concurrent_chunks: usize,
+    /// Upper bound on concurrently served connections. Connections
+    /// past the cap get a hello + `Busy` + close instead of a thread —
+    /// a typed rejection the retrying client understands, never a
+    /// silent stall.
+    pub max_connections: usize,
+    /// The `retry_after_ms` hint carried by every `Busy` reply.
+    pub busy_retry_ms: u32,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +109,9 @@ impl Default for ServerConfig {
             log: None,
             slow_chunk_nanos: 250_000_000,
             event_capacity: 1024,
+            max_concurrent_chunks: 32,
+            max_connections: 256,
+            busy_retry_ms: 50,
         }
     }
 }
@@ -106,9 +122,19 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// How long a drain waits for chunks in flight on other connections.
 const DRAIN_WAIT: Duration = Duration::from_millis(1);
 
+/// Closed-session summaries kept so a retried `Close` (the client
+/// never saw the reply) is answered from the journal instead of
+/// "no such session".
+const RECENT_SUMMARIES: usize = 64;
+
 struct SessionState {
     session: Session,
     fed: u64,
+    /// Sequence number of the last applied chunk (0 = none yet). A
+    /// `SeqChunk` at or below this is a retransmit and is skipped
+    /// idempotently; legacy unsequenced `Chunk`s advance it too, so the
+    /// two framings cannot silently interleave.
+    last_seq: u64,
 }
 
 enum Slot {
@@ -121,6 +147,9 @@ enum Slot {
 struct Table {
     next_id: u32,
     slots: HashMap<u32, (Slot, Instant)>,
+    /// Bounded journal of the last [`RECENT_SUMMARIES`] closed
+    /// sessions, making `Close` idempotent across reconnects.
+    recent: VecDeque<(u32, SessionSummary)>,
 }
 
 impl Table {
@@ -135,7 +164,17 @@ struct Shared {
     shutdown: AtomicBool,
     table: Mutex<Table>,
     obs: ServerObs,
+    /// Chunks currently resident in connection workers (the admission
+    /// counter behind [`ServerConfig::max_concurrent_chunks`]).
+    in_flight_chunks: AtomicUsize,
+    /// Connections currently being served (the backlog counter behind
+    /// [`ServerConfig::max_connections`]).
+    connections: AtomicUsize,
 }
+
+/// The checkout-conflict error message; requests seeing it answer
+/// `Busy` (retryable) instead of a hard `Error`.
+const BUSY_SESSION: &str = "session is busy on another connection";
 
 impl Shared {
     fn checkout(&self, id: u32) -> Result<Box<SessionState>, &'static str> {
@@ -149,7 +188,7 @@ impl Shared {
                     Slot::Busy => unreachable!(),
                 }
             }
-            Some((Slot::Busy, _)) => Err("session is busy on another connection"),
+            Some((Slot::Busy, _)) => Err(BUSY_SESSION),
         }
     }
 
@@ -162,11 +201,60 @@ impl Shared {
         let mut table = self.table.lock().unwrap();
         match table.slots.get(&id) {
             None => Err("no such session"),
-            Some((Slot::Busy, _)) => Err("session is busy on another connection"),
+            Some((Slot::Busy, _)) => Err(BUSY_SESSION),
             Some((Slot::Idle(_), _)) => match table.slots.remove(&id) {
                 Some((Slot::Idle(state), _)) => Ok(state),
                 _ => unreachable!(),
             },
+        }
+    }
+
+    /// Journals a closed session's summary so a retried `Close` can be
+    /// answered idempotently.
+    fn record_summary(&self, id: u32, summary: &SessionSummary) {
+        let mut table = self.table.lock().unwrap();
+        if table.recent.len() == RECENT_SUMMARIES {
+            table.recent.pop_front();
+        }
+        table.recent.push_back((id, *summary));
+    }
+
+    /// The journaled summary for a recently closed session, if any.
+    fn cached_summary(&self, id: u32) -> Option<SessionSummary> {
+        let table = self.table.lock().unwrap();
+        table
+            .recent
+            .iter()
+            .rev()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, s)| *s)
+    }
+
+    /// Admits one chunk against `max_concurrent_chunks`, returning a
+    /// guard that releases the slot on every exit path. `None` means
+    /// the server is saturated and the caller must answer `Busy`.
+    fn admit_chunk(&self) -> Option<ChunkPermit<'_>> {
+        let cap = self.config.max_concurrent_chunks;
+        let prev = self.in_flight_chunks.fetch_add(1, Ordering::SeqCst);
+        if prev >= cap {
+            self.in_flight_chunks.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(ChunkPermit { shared: self })
+    }
+
+    /// Whether new `Open`s should shed: at half the chunk cap the
+    /// server protects tenants already checked out instead of admitting
+    /// more.
+    fn opens_saturated(&self) -> bool {
+        let threshold = (self.config.max_concurrent_chunks / 2).max(1);
+        self.in_flight_chunks.load(Ordering::SeqCst) >= threshold
+    }
+
+    fn busy(&self, session: Option<u32>) -> Response {
+        Response::Busy {
+            session,
+            retry_after_ms: self.config.busy_retry_ms,
         }
     }
 
@@ -225,6 +313,30 @@ impl Shared {
         }
         drained.sort_by_key(|(id, _)| *id);
         drained
+    }
+}
+
+/// One admitted chunk's slot in the global in-flight budget; dropping
+/// it (normally or during a panic unwind) releases the slot.
+struct ChunkPermit<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for ChunkPermit<'_> {
+    fn drop(&mut self) {
+        self.shared.in_flight_chunks.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One served connection's slot in the backlog budget; dropping it
+/// (normally or during a panic unwind) releases the slot.
+struct ConnPermit {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -298,8 +410,11 @@ impl Server {
                 table: Mutex::new(Table {
                     next_id: 1,
                     slots: HashMap::new(),
+                    recent: VecDeque::new(),
                 }),
                 obs: ServerObs::new(config.log, config.slow_chunk_nanos, config.event_capacity),
+                in_flight_chunks: AtomicUsize::new(0),
+                connections: AtomicUsize::new(0),
                 config,
             }),
         })
@@ -330,13 +445,26 @@ impl Server {
                 Ok((stream, _peer)) => {
                     self.shared.obs.connection_accepted();
                     let shared = Arc::clone(&self.shared);
+                    // Claim a backlog slot before spawning; over the cap
+                    // the worker's only job is a hello + Busy + close.
+                    let shed = shared.connections.fetch_add(1, Ordering::SeqCst)
+                        >= shared.config.max_connections;
+                    let permit = ConnPermit {
+                        shared: Arc::clone(&shared),
+                    };
                     workers.push(thread::spawn(move || {
+                        let _permit = permit;
                         // Contain panics to the one connection: the
                         // chunk guard has already repaired the session
                         // table by the time the unwind reaches here.
-                        if catch_unwind(AssertUnwindSafe(|| serve_connection(stream, &shared)))
-                            .is_err()
-                        {
+                        let body = || {
+                            if shed {
+                                shed_connection(stream, &shared);
+                            } else {
+                                serve_connection(stream, &shared);
+                            }
+                        };
+                        if catch_unwind(AssertUnwindSafe(body)).is_err() {
                             shared.obs.worker_panicked();
                         }
                     }));
@@ -401,6 +529,34 @@ fn build_session(open: &OpenRequest) -> Session {
     b.build()
 }
 
+/// Turns a connection away at the door when the backlog is full: the
+/// hello exchange still happens (so the client's framing layer is in a
+/// known state), then one `Busy` and a close. The retrying client
+/// backs off and reconnects; a silent drop would look like a network
+/// fault instead of load.
+fn shed_connection(stream: TcpStream, shared: &Shared) {
+    shared.obs.connection_shed();
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    if wire::read_hello(&mut reader).is_err() {
+        return;
+    }
+    if wire::write_hello(&mut writer).is_err() {
+        return;
+    }
+    let mut frame = Vec::new();
+    let mut scratch = Vec::new();
+    let _ = shared
+        .busy(None)
+        .write_to(&mut writer, &mut frame, &mut scratch);
+    let _ = writer.flush();
+}
+
 /// One connection's request loop. Any framing error ends the
 /// connection (after a best-effort `Error` response); request-level
 /// failures (unknown session, full table) are answered and the
@@ -450,7 +606,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 shared.obs.wire_error(&e);
                 let resp = Response::Error {
                     session: None,
-                    message: e.to_string(),
+                    message: format!("{}{e}", stems_core::protocol::FRAMING_ERROR_PREFIX),
                 };
                 let _ = send(&mut writer, &mut frame, &mut scratch, &resp);
                 return;
@@ -458,17 +614,14 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         };
         let reply = match request {
             Request::Open(open) => handle_open(shared, &open),
-            Request::Chunk { session, records } => handle_chunk(shared, session, &records),
-            Request::Close { session } => match shared.remove(session) {
-                Ok(state) => {
-                    shared.obs.session_closed(session, state.fed);
-                    Response::Summary(Box::new(summarize(session, state)))
-                }
-                Err(msg) => Response::Error {
-                    session: Some(session),
-                    message: msg.into(),
-                },
-            },
+            Request::Chunk { session, records } => handle_chunk(shared, session, None, &records),
+            Request::SeqChunk {
+                session,
+                seq,
+                records,
+            } => handle_chunk(shared, session, Some(seq), &records),
+            Request::Resume { session, last_seq } => handle_resume(shared, session, last_seq),
+            Request::Close { session } => handle_close(shared, session),
             Request::Metrics { drain_events } => {
                 Response::MetricsReply(Box::new(shared.obs.render(drain_events)))
             }
@@ -509,14 +662,19 @@ fn handle_open(shared: &Shared, open: &OpenRequest) -> Response {
             message: "server is shutting down".into(),
         };
     }
+    // Load shedding prefers rejecting new tenants over starving
+    // checked-out ones: opens go Busy at half the chunk cap, chunks
+    // only at the full cap.
+    if shared.opens_saturated() {
+        shared.obs.open_shed();
+        return shared.busy(None);
+    }
     {
         let table = shared.table.lock().unwrap();
         if table.len() >= shared.config.max_sessions {
-            shared.obs.open_rejected();
-            return Response::Error {
-                session: None,
-                message: format!("session table full ({} sessions)", table.len()),
-            };
+            drop(table);
+            shared.obs.open_shed();
+            return shared.busy(None);
         }
     }
     // Build the tenant's Session outside the lock — table geometry can
@@ -524,16 +682,13 @@ fn handle_open(shared: &Shared, open: &OpenRequest) -> Response {
     let mut state = Box::new(SessionState {
         session: build_session(open),
         fed: 0,
+        last_seq: 0,
     });
     let mut table = shared.table.lock().unwrap();
     if table.len() >= shared.config.max_sessions {
-        let len = table.len();
         drop(table);
-        shared.obs.open_rejected();
-        return Response::Error {
-            session: None,
-            message: format!("session table full ({len} sessions)"),
-        };
+        shared.obs.open_shed();
+        return shared.busy(None);
     }
     let id = table.next_id;
     table.next_id = table.next_id.wrapping_add(1).max(1);
@@ -546,15 +701,33 @@ fn handle_open(shared: &Shared, open: &OpenRequest) -> Response {
     Response::Opened { session: id }
 }
 
-fn handle_chunk(shared: &Shared, session: u32, records: &[stems_trace::Access]) -> Response {
+/// Runs one chunk — sequenced (`seq: Some`) or legacy — through the
+/// admission gate, the session checkout, and the dedupe/gap journal.
+fn handle_chunk(
+    shared: &Shared,
+    session: u32,
+    seq: Option<u64>,
+    records: &[stems_trace::Access],
+) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Response::Error {
             session: Some(session),
             message: "server is shutting down".into(),
         };
     }
+    let Some(_permit) = shared.admit_chunk() else {
+        shared.obs.chunk_shed();
+        return shared.busy(Some(session));
+    };
     let state = match shared.checkout(session) {
         Ok(state) => state,
+        Err(msg) if msg == BUSY_SESSION => {
+            // Checked out by another connection: the per-tenant
+            // in-flight quota (one chunk per session) answers Busy, not
+            // a hard error — the client retries after backoff.
+            shared.obs.chunk_shed();
+            return shared.busy(Some(session));
+        }
         Err(msg) => {
             return Response::Error {
                 session: Some(session),
@@ -569,8 +742,40 @@ fn handle_chunk(shared: &Shared, session: u32, records: &[stems_trace::Access]) 
     // panics (the worker's unwind would otherwise orphan it forever).
     let mut guard = CheckoutGuard::new(shared, session, state);
     let state = guard.state();
+    match seq {
+        // A retransmit the journal already applied: skip it
+        // idempotently and re-answer with the current snapshot, so a
+        // client that lost the original Stats still converges.
+        Some(seq) if seq <= state.last_seq => {
+            shared.obs.chunk_deduped();
+            let stats = ChunkStats {
+                session,
+                accesses_fed: state.fed,
+                counters: *state.session.counters(),
+            };
+            guard.finish();
+            return Response::Stats(stats);
+        }
+        // A gap means the client skipped data we never saw; applying
+        // it would silently drift the counters. Fatal, not retryable.
+        Some(seq) if seq != state.last_seq + 1 => {
+            let last_seq = state.last_seq;
+            guard.finish();
+            return Response::Error {
+                session: Some(session),
+                message: format!("sequence gap: got {seq}, journal is at {last_seq}"),
+            };
+        }
+        _ => {}
+    }
     state.session.run_chunk(records);
     state.fed += records.len() as u64;
+    // Legacy unsequenced chunks advance the journal too, so the two
+    // framings can never interleave into a stale dedupe decision.
+    state.last_seq = match seq {
+        Some(seq) => seq,
+        None => state.last_seq + 1,
+    };
     let stats = ChunkStats {
         session,
         accesses_fed: state.fed,
@@ -578,6 +783,80 @@ fn handle_chunk(shared: &Shared, session: u32, records: &[stems_trace::Access]) 
     };
     guard.finish();
     Response::Stats(stats)
+}
+
+/// Re-attaches a reconnecting client: replies with the journal
+/// position so the client can drop already-applied chunks from its
+/// resend window and continue byte-identically.
+fn handle_resume(shared: &Shared, session: u32, client_last_seq: u64) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            session: Some(session),
+            message: "server is shutting down".into(),
+        };
+    }
+    let state = match shared.checkout(session) {
+        Ok(state) => state,
+        Err(msg) if msg == BUSY_SESSION => {
+            shared.obs.chunk_shed();
+            return shared.busy(Some(session));
+        }
+        Err(msg) => {
+            return Response::Error {
+                session: Some(session),
+                message: msg.into(),
+            }
+        }
+    };
+    let guard = CheckoutGuard::new(shared, session, state);
+    let state = guard.state.as_ref().expect("state held");
+    // The client can only be behind the server (it acks what the
+    // server already confirmed); claiming to be ahead means it is
+    // resuming someone else's session id or its state is corrupt.
+    if client_last_seq > state.last_seq {
+        let last_seq = state.last_seq;
+        guard.finish();
+        return Response::Error {
+            session: Some(session),
+            message: format!(
+                "resume ahead of journal: client at {client_last_seq}, server at {last_seq}"
+            ),
+        };
+    }
+    let resumed = Response::Resumed {
+        session,
+        last_seq: state.last_seq,
+        accesses_fed: state.fed,
+        counters: *state.session.counters(),
+    };
+    shared.obs.session_resumed(session, state.last_seq);
+    guard.finish();
+    resumed
+}
+
+/// Closes a session, answering a retried `Close` from the bounded
+/// summary journal so a client that lost the reply still gets its
+/// (byte-identical) summary instead of "no such session".
+fn handle_close(shared: &Shared, session: u32) -> Response {
+    match shared.remove(session) {
+        Ok(state) => {
+            shared.obs.session_closed(session, state.fed);
+            let summary = summarize(session, state);
+            shared.record_summary(session, &summary);
+            Response::Summary(Box::new(summary))
+        }
+        Err(msg) if msg == BUSY_SESSION => {
+            shared.obs.busy_replied();
+            shared.busy(Some(session))
+        }
+        Err(msg) => match shared.cached_summary(session) {
+            Some(summary) => Response::Summary(Box::new(summary)),
+            None => Response::Error {
+                session: Some(session),
+                message: msg.into(),
+            },
+        },
+    }
 }
 
 #[cfg(test)]
@@ -597,8 +876,11 @@ mod tests {
             table: Mutex::new(Table {
                 next_id: 1,
                 slots: HashMap::new(),
+                recent: VecDeque::new(),
             }),
             obs: ServerObs::new(config.log, config.slow_chunk_nanos, config.event_capacity),
+            in_flight_chunks: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
             config,
         }
     }
@@ -657,6 +939,250 @@ mod tests {
         let guard = CheckoutGuard::new(&shared, id2, state2);
         guard.finish();
         assert_eq!(shared.checkout(id2).map(|_| ()), Ok(()));
+    }
+
+    fn acc(i: u64) -> stems_trace::Access {
+        use stems_types::{Addr, Pc};
+        stems_trace::Access::read(Pc::new(0x400 + i * 4), Addr::new(i * 64))
+    }
+
+    #[test]
+    fn seq_chunks_apply_dedupe_and_reject_gaps() {
+        let shared = test_shared();
+        let id = open_session(&shared);
+        let records: Vec<_> = (0..8).map(acc).collect();
+
+        // seq 1 applies.
+        let first = match handle_chunk(&shared, id, Some(1), &records) {
+            Response::Stats(s) => s,
+            other => panic!("seq 1 rejected: {other:?}"),
+        };
+        assert_eq!(first.accesses_fed, 8);
+
+        // A retransmit of seq 1 is skipped idempotently and re-answers
+        // the same snapshot — counters must not drift.
+        let replayed = match handle_chunk(&shared, id, Some(1), &records) {
+            Response::Stats(s) => s,
+            other => panic!("dedupe failed: {other:?}"),
+        };
+        assert_eq!(replayed, first);
+
+        // seq 2 continues the stream.
+        let second = match handle_chunk(&shared, id, Some(2), &records) {
+            Response::Stats(s) => s,
+            other => panic!("seq 2 rejected: {other:?}"),
+        };
+        assert_eq!(second.accesses_fed, 16);
+
+        // seq 4 is a gap: typed error, nothing applied.
+        match handle_chunk(&shared, id, Some(4), &records) {
+            Response::Error { session, message } => {
+                assert_eq!(session, Some(id));
+                assert!(message.contains("sequence gap"), "{message}");
+            }
+            other => panic!("gap accepted: {other:?}"),
+        }
+        let after_gap = match handle_chunk(&shared, id, Some(3), &records) {
+            Response::Stats(s) => s,
+            other => panic!("seq 3 rejected after gap: {other:?}"),
+        };
+        assert_eq!(after_gap.accesses_fed, 24);
+
+        let scrape = shared.obs.render(false);
+        assert!(scrape.exposition.contains("stems_chunks_deduped_total 1"));
+    }
+
+    #[test]
+    fn dedupe_equals_fault_free_run() {
+        // The resumable-session invariant in miniature: a stream with
+        // duplicated sequenced chunks produces counters byte-identical
+        // to the clean stream.
+        let clean = test_shared();
+        let noisy = test_shared();
+        let a = open_session(&clean);
+        let b = open_session(&noisy);
+        let chunks: Vec<Vec<_>> = (0..4u64)
+            .map(|c| (0..16).map(|i| acc(c * 16 + i)).collect())
+            .collect();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let seq = i as u64 + 1;
+            handle_chunk(&clean, a, Some(seq), chunk);
+            handle_chunk(&noisy, b, Some(seq), chunk);
+            // Every chunk delivered twice on the noisy path.
+            handle_chunk(&noisy, b, Some(seq), chunk);
+        }
+        let s1 = match handle_close(&clean, a) {
+            Response::Summary(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let s2 = match handle_close(&noisy, b) {
+            Response::Summary(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(s1.counters, s2.counters);
+        assert_eq!(s1.accesses_fed, s2.accesses_fed);
+    }
+
+    #[test]
+    fn legacy_chunks_advance_the_journal() {
+        let shared = test_shared();
+        let id = open_session(&shared);
+        let records: Vec<_> = (0..4).map(acc).collect();
+        handle_chunk(&shared, id, None, &records);
+        handle_chunk(&shared, id, None, &records);
+        // The journal advanced under the legacy chunks, so seq 1 and 2
+        // are behind it (deduped), seq 3 applies.
+        let before = match handle_chunk(&shared, id, Some(1), &records) {
+            Response::Stats(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(before.accesses_fed, 8, "seq 1 was a no-op");
+        let applied = match handle_chunk(&shared, id, Some(3), &records) {
+            Response::Stats(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(applied.accesses_fed, 12);
+    }
+
+    #[test]
+    fn resume_reports_the_journal_and_rejects_ahead_clients() {
+        let shared = test_shared();
+        let id = open_session(&shared);
+        let records: Vec<_> = (0..8).map(acc).collect();
+        handle_chunk(&shared, id, Some(1), &records);
+        handle_chunk(&shared, id, Some(2), &records);
+
+        // A client that saw only seq 1 acked resumes behind the
+        // journal and learns the authoritative position.
+        match handle_resume(&shared, id, 1) {
+            Response::Resumed {
+                session,
+                last_seq,
+                accesses_fed,
+                ..
+            } => {
+                assert_eq!(session, id);
+                assert_eq!(last_seq, 2);
+                assert_eq!(accesses_fed, 16);
+            }
+            other => panic!("resume failed: {other:?}"),
+        }
+
+        // Claiming to be ahead of the server is fatal.
+        match handle_resume(&shared, id, 9) {
+            Response::Error { message, .. } => {
+                assert!(message.contains("ahead of journal"), "{message}")
+            }
+            other => panic!("ahead resume accepted: {other:?}"),
+        }
+
+        // Unknown session is a hard error, not Busy.
+        assert!(matches!(
+            handle_resume(&shared, 999, 0),
+            Response::Error { .. }
+        ));
+
+        let scrape = shared.obs.render(true);
+        assert!(scrape.exposition.contains("stems_sessions_resumed_total 1"));
+        assert!(scrape.events.contains("\"event\":\"session_resume\""));
+    }
+
+    #[test]
+    fn retried_close_is_answered_from_the_summary_journal() {
+        let shared = test_shared();
+        let id = open_session(&shared);
+        let records: Vec<_> = (0..8).map(acc).collect();
+        handle_chunk(&shared, id, Some(1), &records);
+        let first = match handle_close(&shared, id) {
+            Response::Summary(s) => s,
+            other => panic!("{other:?}"),
+        };
+        // The retry (client never saw the reply) gets the identical
+        // summary back, not "no such session".
+        let retry = match handle_close(&shared, id) {
+            Response::Summary(s) => s,
+            other => panic!("retried close failed: {other:?}"),
+        };
+        assert_eq!(first, retry);
+        // A session that never existed still errors.
+        assert!(matches!(handle_close(&shared, 999), Response::Error { .. }));
+    }
+
+    #[test]
+    fn busy_checkout_answers_busy_not_error() {
+        let shared = test_shared();
+        let id = open_session(&shared);
+        let held = shared.checkout(id).expect("checkout");
+        let records: Vec<_> = (0..4).map(acc).collect();
+        match handle_chunk(&shared, id, Some(1), &records) {
+            Response::Busy {
+                session,
+                retry_after_ms,
+            } => {
+                assert_eq!(session, Some(id));
+                assert_eq!(retry_after_ms, shared.config.busy_retry_ms);
+            }
+            other => panic!("expected Busy: {other:?}"),
+        }
+        assert!(matches!(
+            handle_resume(&shared, id, 0),
+            Response::Busy { .. }
+        ));
+        assert!(matches!(handle_close(&shared, id), Response::Busy { .. }));
+        shared.checkin(id, held);
+        let scrape = shared.obs.render(false);
+        assert!(scrape.exposition.contains("stems_chunks_shed_total 2"));
+        assert!(scrape.exposition.contains("stems_busy_total 3"));
+    }
+
+    #[test]
+    fn chunk_admission_cap_sheds_with_busy() {
+        let mut config = ServerConfig {
+            event_capacity: 16,
+            max_concurrent_chunks: 2,
+            ..ServerConfig::default()
+        };
+        config.log = None;
+        let shared = Shared {
+            shutdown: AtomicBool::new(false),
+            table: Mutex::new(Table {
+                next_id: 1,
+                slots: HashMap::new(),
+                recent: VecDeque::new(),
+            }),
+            obs: ServerObs::new(config.log, config.slow_chunk_nanos, config.event_capacity),
+            in_flight_chunks: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            config,
+        };
+        let id = open_session(&shared);
+        // Two permits saturate the cap; the third chunk sheds.
+        let _p1 = shared.admit_chunk().expect("permit 1");
+        let _p2 = shared.admit_chunk().expect("permit 2");
+        let records: Vec<_> = (0..4).map(acc).collect();
+        assert!(matches!(
+            handle_chunk(&shared, id, Some(1), &records),
+            Response::Busy { .. }
+        ));
+        // At half the cap (1 in flight after dropping p2), opens shed
+        // while chunks still run — new tenants lose first.
+        drop(_p2);
+        assert!(shared.opens_saturated());
+        let open = OpenRequest {
+            system: SystemConfig::small(),
+            prefetch: PrefetchConfig::small(),
+            predictor: Predictor::Stems,
+            invalidations: None,
+        };
+        assert!(matches!(handle_open(&shared, &open), Response::Busy { .. }));
+        assert!(matches!(
+            handle_chunk(&shared, id, Some(1), &records),
+            Response::Stats(_)
+        ));
+        drop(_p1);
+        let scrape = shared.obs.render(false);
+        assert!(scrape.exposition.contains("stems_chunks_shed_total 1"));
+        assert!(scrape.exposition.contains("stems_opens_shed_total 1"));
     }
 
     #[test]

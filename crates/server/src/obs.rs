@@ -49,6 +49,12 @@ pub struct ServerObs {
     sessions_evicted: Counter,
     sessions_aborted: Counter,
     sessions_open: Gauge,
+    sessions_resumed: Counter,
+    chunks_deduped: Counter,
+    chunks_shed: Counter,
+    opens_shed: Counter,
+    connections_shed: Counter,
+    busy_replies: Counter,
     open_rejected: Counter,
     worker_panics: Counter,
     scrapes: Counter,
@@ -76,6 +82,12 @@ impl ServerObs {
             sessions_evicted: registry.counter("stems_sessions_evicted_total"),
             sessions_aborted: registry.counter("stems_sessions_aborted_total"),
             sessions_open: registry.gauge("stems_sessions_open"),
+            sessions_resumed: registry.counter("stems_sessions_resumed_total"),
+            chunks_deduped: registry.counter("stems_chunks_deduped_total"),
+            chunks_shed: registry.counter("stems_chunks_shed_total"),
+            opens_shed: registry.counter("stems_opens_shed_total"),
+            connections_shed: registry.counter("stems_connections_shed_total"),
+            busy_replies: registry.counter("stems_busy_total"),
             open_rejected: registry.counter("stems_open_rejected_total"),
             worker_panics: registry.counter("stems_worker_panics_total"),
             scrapes: registry.counter("stems_scrapes_total"),
@@ -136,6 +148,54 @@ impl ServerObs {
     /// An open was rejected (table full or draining).
     pub fn open_rejected(&self) {
         self.open_rejected.inc();
+    }
+
+    /// A reconnecting client resumed session `id`; `last_seq` is the
+    /// server's authoritative journal position it was told.
+    pub fn session_resumed(&self, id: u32, last_seq: u64) {
+        self.sessions_resumed.inc();
+        self.emit(EventKind::SessionResume {
+            session: id,
+            last_seq,
+        });
+    }
+
+    /// A sequenced chunk at or below the journal position was skipped
+    /// idempotently (a retransmit after partial delivery).
+    pub fn chunk_deduped(&self) {
+        self.chunks_deduped.inc();
+    }
+
+    /// Admission control answered `Busy` instead of running a chunk.
+    pub fn chunk_shed(&self) {
+        self.chunks_shed.inc();
+        self.busy_replies.inc();
+    }
+
+    /// Admission control answered `Busy` instead of opening a session
+    /// (load-shedding prefers rejecting new tenants over starving
+    /// checked-out ones).
+    pub fn open_shed(&self) {
+        self.opens_shed.inc();
+        self.busy_replies.inc();
+        self.open_rejected.inc();
+    }
+
+    /// A `Busy` reply not tied to chunk/open/connection shedding (a
+    /// `Close` raced another connection's checkout).
+    pub fn busy_replied(&self) {
+        self.busy_replies.inc();
+    }
+
+    /// The accept loop turned a connection away at the door (backlog
+    /// full): hello + `Busy` + close, never a silent RST.
+    pub fn connection_shed(&self) {
+        self.connections_shed.inc();
+        self.busy_replies.inc();
+        self.emit(EventKind::Log {
+            level: LogLevel::Warn,
+            message: "connection shed: accept backlog full".into(),
+        });
     }
 
     /// A connection worker panicked (the chunk guard has already

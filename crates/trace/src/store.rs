@@ -383,6 +383,21 @@ impl<W: StoreSink> Drop for TraceWriter<W> {
     }
 }
 
+/// What [`TraceReader::recover_tail`] found and did: how much of the
+/// file was a valid frame sequence, and how many trailing bytes were
+/// cut to restore the invariant that every frame in the file decodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Frames in the surviving valid prefix.
+    pub frames_kept: u64,
+    /// Records across the surviving frames.
+    pub records_kept: u64,
+    /// Bytes removed from the end of the file (0 when undamaged).
+    pub bytes_truncated: u64,
+    /// Whether the file needed repair at all.
+    pub was_damaged: bool,
+}
+
 /// Streaming reader for the chunked trace store.
 ///
 /// [`TraceReader::next_chunk`] decodes one frame at a time into an
@@ -402,6 +417,52 @@ impl TraceReader<BufReader<File>> {
     /// Opens `path` and validates the store header.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, TraceStoreError> {
         TraceReader::new(BufReader::new(File::open(path)?))
+    }
+
+    /// Repairs a store damaged by an interrupted or injured append
+    /// (`kill -9` mid-write, a torn copy, a truncated download):
+    /// scans the file's valid frame prefix and truncates everything
+    /// after it, so the survivor is a well-formed store again.
+    ///
+    /// The scan stops at the first frame that is cut short, fails its
+    /// CRC, or does not decode; that frame and everything after it are
+    /// removed with `set_len` — the store's frames are self-contained,
+    /// so the prefix needs no rewriting. An undamaged file is left
+    /// byte-identical (`was_damaged: false`). Damage the scan *cannot*
+    /// localize — a missing or mangled 12-byte file header — is not
+    /// repairable and returns the underlying error instead.
+    pub fn recover_tail<P: AsRef<Path>>(path: P) -> Result<RecoveryReport, TraceStoreError> {
+        let path = path.as_ref();
+        let mut reader = TraceReader::open(path)?;
+        let damage = loop {
+            match reader.next_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) => break None,
+                // The valid prefix ends where the failed frame began
+                // (`reader.offset` advances only on success). Real I/O
+                // failures abort: the file may be fine.
+                Err(TraceStoreError::Io(e)) => return Err(TraceStoreError::Io(e)),
+                Err(_) => break Some(reader.offset),
+            }
+        };
+        let report = RecoveryReport {
+            frames_kept: reader.frames,
+            records_kept: reader.records,
+            bytes_truncated: 0,
+            was_damaged: damage.is_some(),
+        };
+        drop(reader);
+        let Some(valid_end) = damage else {
+            return Ok(report);
+        };
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        let len = file.metadata()?.len();
+        file.set_len(valid_end)?;
+        file.sync_data()?;
+        Ok(RecoveryReport {
+            bytes_truncated: len.saturating_sub(valid_end),
+            ..report
+        })
     }
 }
 
@@ -823,6 +884,108 @@ mod tests {
         }
         let back = read_store(buf.as_slice()).unwrap();
         assert_eq!(back.len(), 20);
+    }
+
+    #[test]
+    fn recover_tail_repairs_every_truncation_point() {
+        // Sweep: cut a 5-frame store at every byte length from full
+        // down past the last frame boundary, repair, and check the
+        // survivor is exactly the longest valid frame prefix.
+        let t = sample_trace(100);
+        let mut pristine = Vec::new();
+        let mut w = TraceWriter::new(&mut pristine)
+            .unwrap()
+            .with_frame_capacity(20);
+        w.write_accesses(t.as_slice()).unwrap();
+        w.finish().unwrap();
+        drop(w);
+        // Frame boundaries, from the header on up.
+        let mut boundaries = vec![HEADER_BYTES as u64];
+        {
+            let mut r = TraceReader::new(pristine.as_slice()).unwrap();
+            while r.next_chunk().unwrap().is_some() {
+                boundaries.push(r.offset);
+            }
+        }
+        assert_eq!(boundaries.len(), 6, "header + 5 frames");
+        let path =
+            std::env::temp_dir().join(format!("stems_recover_sweep_{}.stems", std::process::id()));
+        for cut in (HEADER_BYTES..=pristine.len()).rev() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            let report = TraceReader::recover_tail(&path).unwrap();
+            let at_boundary = boundaries.contains(&(cut as u64));
+            assert_eq!(report.was_damaged, !at_boundary, "cut at {cut}");
+            let expect_end = *boundaries
+                .iter()
+                .filter(|b| **b <= cut as u64)
+                .max()
+                .unwrap();
+            let expect_frames = boundaries.iter().position(|b| *b == expect_end).unwrap() as u64;
+            assert_eq!(report.frames_kept, expect_frames, "cut at {cut}");
+            assert_eq!(report.records_kept, expect_frames * 20, "cut at {cut}");
+            assert_eq!(
+                report.bytes_truncated,
+                cut as u64 - expect_end,
+                "cut at {cut}"
+            );
+            // The repaired file reads cleanly end to end and holds the
+            // exact record prefix.
+            let back = TraceReader::open(&path).unwrap().read_to_trace().unwrap();
+            assert_eq!(
+                back.as_slice(),
+                &t.as_slice()[..(expect_frames * 20) as usize],
+                "cut at {cut}"
+            );
+            // Repair is idempotent: a second pass finds no damage.
+            let again = TraceReader::recover_tail(&path).unwrap();
+            assert!(!again.was_damaged, "cut at {cut}");
+            assert_eq!(again.bytes_truncated, 0);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_tail_cuts_a_corrupted_tail_frame() {
+        let t = sample_trace(60);
+        let mut pristine = Vec::new();
+        let mut w = TraceWriter::new(&mut pristine)
+            .unwrap()
+            .with_frame_capacity(20);
+        w.write_accesses(t.as_slice()).unwrap();
+        w.finish().unwrap();
+        drop(w);
+        let path = std::env::temp_dir().join(format!(
+            "stems_recover_corrupt_{}.stems",
+            std::process::id()
+        ));
+        // Flip a bit in the last frame's payload: the CRC catches it
+        // and repair drops that frame, keeping the first two.
+        let mut damaged = pristine.clone();
+        let n = damaged.len();
+        damaged[n - CHECKSUM_BYTES - 1] ^= 0x10;
+        std::fs::write(&path, &damaged).unwrap();
+        let report = TraceReader::recover_tail(&path).unwrap();
+        assert!(report.was_damaged);
+        assert_eq!(report.frames_kept, 2);
+        assert_eq!(report.records_kept, 40);
+        let back = TraceReader::open(&path).unwrap().read_to_trace().unwrap();
+        assert_eq!(back.as_slice(), &t.as_slice()[..40]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_tail_refuses_a_damaged_header() {
+        let path =
+            std::env::temp_dir().join(format!("stems_recover_header_{}.stems", std::process::id()));
+        std::fs::write(&path, &STORE_MAGIC[..6]).unwrap();
+        let err = TraceReader::recover_tail(&path).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceStoreError::Truncated { frame_offset: 0 }
+        ));
+        // The file is untouched: header damage is not repairable.
+        assert_eq!(std::fs::read(&path).unwrap().len(), 6);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

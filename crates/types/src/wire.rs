@@ -171,6 +171,28 @@ impl WireError {
             WireError::Io(_) => "io",
         }
     }
+
+    /// Whether a fresh connection could plausibly succeed where this
+    /// error occurred — the retry classifier used by the client's
+    /// fault-tolerance layer (`docs/FAULT_TOLERANCE.md`).
+    ///
+    /// Transport damage (`Io`, `Truncated`, `ChecksumMismatch`, and
+    /// `Oversized` — the length prefix is consulted *before* the
+    /// checksum can vouch for it, so a flipped length bit surfaces
+    /// here) is transient: the bytes were hurt in flight, not wrong at
+    /// the source. Everything else (`BadMagic`, version/flags mismatch,
+    /// `UnknownKind`, `Corrupt`) means the *peer* speaks a different
+    /// protocol or sent garbage that checksummed clean — reconnecting
+    /// to the same peer reproduces it.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(_)
+                | WireError::Truncated { .. }
+                | WireError::ChecksumMismatch { .. }
+                | WireError::Oversized { .. }
+        )
+    }
 }
 
 impl std::error::Error for WireError {
